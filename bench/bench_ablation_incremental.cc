@@ -1,0 +1,59 @@
+// Ablation: warm-start dynamic maintenance (core/incremental.h) vs fresh
+// decompositions across a stream of edge updates.
+//
+// The warm start feeds the previous core indexes back as lower bounds
+// (insertions) or upper bounds (deletions); both paths must produce exactly
+// the fresh result, so the only question is the saved traversal volume.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/incremental.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hcore;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Ablation: warm-start updates vs fresh decomposition");
+  const int kUpdates = args.full ? 40 : 12;
+  std::printf("%-7s %-4s %14s %14s %9s\n", "data", "h", "fresh visits",
+              "warm visits", "ratio");
+
+  for (const char* name : {"caAs", "doub"}) {
+    Dataset d = bench::Load(args, name, /*quick=*/0.06, /*full=*/0.25);
+    for (int h : {2, 3}) {
+      KhCoreOptions opts;
+      opts.h = h;
+      DynamicKhCore dyn(d.graph, opts);
+      Rng rng(99);
+      uint64_t warm_visits = 0;
+      uint64_t fresh_visits = 0;
+      int applied = 0;
+      while (applied < kUpdates) {
+        const VertexId n = dyn.graph().num_vertices();
+        bool ok;
+        if (rng.NextBool(0.5)) {
+          ok = dyn.InsertEdge(rng.NextIndex(n), rng.NextIndex(n));
+        } else {
+          auto edges = dyn.graph().Edges();
+          auto [u, v] =
+              edges[rng.NextIndex(static_cast<uint32_t>(edges.size()))];
+          ok = dyn.DeleteEdge(u, v);
+        }
+        if (!ok) continue;
+        ++applied;
+        warm_visits += dyn.result().stats.visited_vertices;
+        KhCoreResult fresh = KhCoreDecomposition(dyn.graph(), opts);
+        fresh_visits += fresh.stats.visited_vertices;
+      }
+      std::printf("%-7s h=%-2d %14llu %14llu %8.2fx\n", name, h,
+                  static_cast<unsigned long long>(fresh_visits),
+                  static_cast<unsigned long long>(warm_visits),
+                  warm_visits > 0
+                      ? static_cast<double>(fresh_visits) / warm_visits
+                      : 0.0);
+    }
+  }
+  return 0;
+}

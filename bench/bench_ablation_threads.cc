@@ -1,0 +1,38 @@
+// Ablation: thread scaling of the parallel h-degree computation (§4.6).
+//
+// The paper parallelizes the initial h-degree pass and the per-removal
+// neighborhood recomputation by handing vertices to threads dynamically.
+// This bench sweeps the thread count on one decomposition workload.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/kh_core.h"
+
+int main(int argc, char** argv) {
+  using namespace hcore;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Ablation: threads for h-degree computation");
+  const int max_threads = bench::EffectiveThreads(args);
+  std::printf("%-7s %-4s %8s %9s %9s\n", "data", "h", "threads", "time(s)",
+              "speedup");
+
+  for (const char* name : {"lj", "caAs"}) {
+    Dataset d = bench::Load(args, name, /*quick=*/0.12, /*full=*/0.4);
+    for (int h : {2, 3}) {
+      double base = 0.0;
+      for (int t = 1; t <= max_threads; t *= 2) {
+        KhCoreOptions opts;
+        opts.h = h;
+        opts.algorithm = KhCoreAlgorithm::kLbUb;
+        opts.num_threads = t;
+        KhCoreResult r = KhCoreDecomposition(d.graph, opts);
+        if (t == 1) base = r.stats.seconds;
+        std::printf("%-7s h=%-2d %8d %9.3f %8.2fx\n", name, h, t,
+                    r.stats.seconds,
+                    r.stats.seconds > 0 ? base / r.stats.seconds : 0.0);
+      }
+    }
+  }
+  return 0;
+}

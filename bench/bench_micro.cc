@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) for the primitives underlying the
+// decomposition: bounded BFS, bucket-queue operations, h-degree batches
+// (sequential vs parallel), classic core decomposition, and generators.
+
+#include <benchmark/benchmark.h>
+
+#include "core/classic_core.h"
+#include "core/kh_core.h"
+#include "graph/generators.h"
+#include "traversal/bounded_bfs.h"
+#include "traversal/h_degree.h"
+#include "util/bucket_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hcore;
+
+const Graph& SocialGraph() {
+  static const Graph* g = [] {
+    Rng rng(1);
+    return new Graph(gen::BarabasiAlbert(20000, 5, &rng));
+  }();
+  return *g;
+}
+
+const Graph& RoadGraph() {
+  static const Graph* g = [] {
+    Rng rng(2);
+    return new Graph(gen::RoadLattice(140, 140, 0.72, &rng));
+  }();
+  return *g;
+}
+
+void BM_BoundedBfs(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const int h = static_cast<int>(state.range(0));
+  BoundedBfs bfs(g.num_vertices());
+  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  Rng rng(3);
+  uint64_t visited = 0;
+  for (auto _ : state) {
+    VertexId v = rng.NextIndex(g.num_vertices());
+    visited += bfs.HDegree(g, alive, v, h);
+  }
+  benchmark::DoNotOptimize(visited);
+  state.SetItemsProcessed(static_cast<int64_t>(visited));
+}
+BENCHMARK(BM_BoundedBfs)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BucketQueueChurn(benchmark::State& state) {
+  const uint32_t n = 100000;
+  Rng rng(4);
+  for (auto _ : state) {
+    BucketQueue q(n, n);
+    for (uint32_t v = 0; v < n; ++v) q.Insert(v, rng.NextIndex(n));
+    for (uint32_t v = 0; v < n; ++v) q.Move(v, rng.NextIndex(n));
+    for (uint32_t v = 0; v < n; ++v) q.Remove(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3 * n);
+}
+BENCHMARK(BM_BucketQueueChurn);
+
+void BM_HDegreeBatch(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const int threads = static_cast<int>(state.range(0));
+  HDegreeComputer degrees(g.num_vertices(), threads);
+  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    degrees.ComputeAllAlive(g, alive, 2, &out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.num_vertices());
+}
+BENCHMARK(BM_HDegreeBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ClassicCore(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  for (auto _ : state) {
+    ClassicCoreResult r = ClassicCoreDecomposition(g);
+    benchmark::DoNotOptimize(r.degeneracy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.num_vertices());
+}
+BENCHMARK(BM_ClassicCore)->Unit(benchmark::kMillisecond);
+
+void BM_KhCoreRoad(benchmark::State& state) {
+  const Graph& g = RoadGraph();
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    KhCoreOptions opts;
+    opts.h = h;
+    opts.algorithm = KhCoreAlgorithm::kLb;
+    KhCoreResult r = KhCoreDecomposition(g, opts);
+    benchmark::DoNotOptimize(r.degeneracy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.num_vertices());
+}
+BENCHMARK(BM_KhCoreRoad)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_GeneratorBarabasiAlbert(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(5);
+    Graph g = gen::BarabasiAlbert(10000, 5, &rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_GeneratorBarabasiAlbert)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

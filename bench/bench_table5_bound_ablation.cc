@@ -1,0 +1,54 @@
+// Table 5: effect of the bounds on runtime (seconds).
+//   left  — no lower bound (= h-BZ), LB1 (h-LB with LB1), LB2 (h-LB);
+//   right — h-LB+UB with the plain h-degree upper bound vs the
+//           power-graph UB of Algorithm 5.
+//
+// Paper shape to reproduce: any lower bound buys roughly an order of
+// magnitude; LB2's edge over LB1 grows with h and density; UB beats the
+// h-degree upper bound on the harder instances.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/kh_core.h"
+
+int main(int argc, char** argv) {
+  using namespace hcore;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Table 5: bound ablation, runtime in seconds");
+  std::printf("%-7s %-4s %9s %9s %9s | %10s %9s\n", "data", "h", "no-LB",
+              "LB1", "LB2", "h-degree", "UB");
+
+  // The no-LB column is the h-BZ baseline, whose cost explodes with scale
+  // and h; default scales are chosen so the whole table runs in minutes.
+  for (const char* name : {"caHe", "caAs", "amzn", "rnPA"}) {
+    Dataset d = bench::Load(args, name, /*quick=*/0.045, /*full=*/0.3);
+    std::printf("[%s] n=%u m=%llu\n", name, d.graph.num_vertices(),
+                static_cast<unsigned long long>(d.graph.num_edges()));
+    for (int h : {2, 3, 4}) {
+      double times[5];
+      int idx = 0;
+      for (LowerBoundMode lb : {LowerBoundMode::kNone, LowerBoundMode::kLb1,
+                                LowerBoundMode::kLb2}) {
+        KhCoreOptions opts;
+        opts.h = h;
+        opts.algorithm = KhCoreAlgorithm::kLb;
+        opts.lower_bound = lb;
+        KhCoreResult r = KhCoreDecomposition(d.graph, opts);
+        times[idx++] = r.stats.seconds;
+      }
+      for (UpperBoundMode ub :
+           {UpperBoundMode::kHDegree, UpperBoundMode::kPowerGraph}) {
+        KhCoreOptions opts;
+        opts.h = h;
+        opts.algorithm = KhCoreAlgorithm::kLbUb;
+        opts.upper_bound = ub;
+        KhCoreResult r = KhCoreDecomposition(d.graph, opts);
+        times[idx++] = r.stats.seconds;
+      }
+      std::printf("%-7s h=%-2d %9.3f %9.3f %9.3f | %10.3f %9.3f\n", name, h,
+                  times[0], times[1], times[2], times[3], times[4]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Distance-h densest subgraph (§5.3): the Theorem-4 core-picking
+// approximation versus greedy peeling on a graph with a planted dense blob.
+
+#include <cstdio>
+
+#include "apps/densest.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+int main() {
+  // A dense planted community inside a sparse background.
+  hcore::Rng rng(9);
+  hcore::GraphBuilder b;
+  hcore::Graph blob = hcore::gen::ErdosRenyiGnp(40, 0.5, &rng);
+  hcore::Graph background = hcore::gen::ErdosRenyiGnp(400, 0.008, &rng);
+  for (const auto& [u, v] : blob.Edges()) b.AddEdge(u, v);
+  for (const auto& [u, v] : background.Edges()) b.AddEdge(u + 40, v + 40);
+  for (int i = 0; i < 30; ++i) {
+    b.AddEdge(rng.NextIndex(40), 40 + rng.NextIndex(400));
+  }
+  hcore::Graph g = b.Build();
+  std::printf("graph: n = %u, m = %llu (40-vertex planted dense blob)\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()));
+
+  for (int h : {1, 2}) {
+    hcore::DensestResult core = hcore::DensestByCoreDecomposition(g, h);
+    hcore::DensestResult greedy = hcore::DensestByGreedyPeeling(g, h);
+    std::printf("h=%d  core-approx: f_h = %7.3f  |S| = %zu\n", h, core.density,
+                core.vertices.size());
+    std::printf("h=%d  greedy-peel: f_h = %7.3f  |S| = %zu\n", h,
+                greedy.density, greedy.vertices.size());
+    // How much of the planted blob was recovered?
+    size_t recovered = 0;
+    for (hcore::VertexId v : core.vertices) recovered += (v < 40);
+    std::printf("h=%d  blob recovery: %zu/40 in core-approx set\n", h,
+                recovered);
+  }
+  return 0;
+}

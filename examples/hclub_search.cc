@@ -1,0 +1,47 @@
+// Maximum h-club search accelerated by (k,h)-core preprocessing (§5.2).
+//
+// Builds a collaboration-style graph, then contrasts the plain exact solver
+// with the Algorithm-7 wrapper that first shrinks the instance to the
+// innermost cores.
+
+#include <cstdio>
+
+#include "apps/hclub.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+int main() {
+  // Well-separated communities: the maximum h-club is (roughly) one
+  // community, and the (k,h)-core wrapper shrinks the exact search to it.
+  hcore::Rng rng(7);
+  hcore::Graph g = hcore::gen::PlantedPartition(6, 20, 0.5, 0.004, &rng);
+  std::printf("collaboration graph: n = %u, m = %llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  for (int h : {2, 3}) {
+    hcore::HClubOptions opts;
+    opts.h = h;
+    // Maximum h-club is NP-hard; budget the search like the paper's "NT"
+    // protocol so the demo always terminates.
+    opts.max_nodes = 50'000;
+
+    hcore::HClubResult direct = hcore::MaxHClub(g, opts);
+    std::printf(
+        "h=%d  direct:  |club| = %u%s  nodes = %llu  time = %.3fs\n", h,
+        direct.size(), direct.optimal ? "" : " (budget hit)",
+        static_cast<unsigned long long>(direct.nodes_explored),
+        direct.seconds);
+
+    hcore::HClubResult wrapped = hcore::MaxHClubWithCorePrefilter(g, opts);
+    std::printf(
+        "h=%d  Alg. 7:  |club| = %u%s  nodes = %llu  time = %.3fs\n", h,
+        wrapped.size(), wrapped.optimal ? "" : " (budget hit)",
+        static_cast<unsigned long long>(wrapped.nodes_explored),
+        wrapped.seconds);
+
+    std::printf("h=%d  members:", h);
+    for (hcore::VertexId v : wrapped.members) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Vertex "spectrum" fingerprints (paper §7): the vector of (k,h)-core
+// indexes across h = 1..4 characterizes a vertex more richly than any
+// single core index. This example computes the spectrum sweep on a graph
+// with heterogeneous structure and shows vertices that swap ranks between
+// levels.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/spectrum.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+int main() {
+  // A graph with mixed structure: a dense pocket, a star, and a long grid,
+  // bridged together — classic core indexes barely separate them.
+  hcore::Rng rng(5);
+  hcore::GraphBuilder b;
+  hcore::Graph clique = hcore::gen::Complete(12);
+  for (const auto& [u, v] : clique.Edges()) b.AddEdge(u, v);
+  hcore::Graph star = hcore::gen::Star(40);
+  for (const auto& [u, v] : star.Edges()) b.AddEdge(u + 12, v + 12);
+  hcore::Graph grid = hcore::gen::Grid(8, 30);
+  for (const auto& [u, v] : grid.Edges()) b.AddEdge(u + 52, v + 52);
+  b.AddEdge(0, 12);    // clique - star hub
+  b.AddEdge(12, 52);   // star hub - grid corner
+  hcore::Graph g = b.Build();
+  std::printf("graph: n = %u, m = %llu (clique + star + grid)\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()));
+
+  hcore::SpectrumOptions opts;
+  opts.max_h = 4;
+  hcore::SpectrumResult r = hcore::KhCoreSpectrum(g, opts);
+
+  std::printf("degeneracy by h:");
+  for (int h = 1; h <= 4; ++h) std::printf("  h=%d: %u", h, r.degeneracy[h - 1]);
+  std::printf("\ncorrelation with h=1:");
+  for (int h = 2; h <= 4; ++h) {
+    std::printf("  h=%d: %.3f", h, r.LevelCorrelation(1, h));
+  }
+  std::printf("\n\nsample fingerprints (vertex: core_1 core_2 core_3 core_4):\n");
+  for (hcore::VertexId v : {0u, 11u, 12u, 13u, 52u, 170u}) {
+    auto s = r.VertexSpectrum(v);
+    const char* kind = v < 12 ? "clique " : (v == 12 ? "hub    "
+                                : (v < 52 ? "leaf   " : "grid   "));
+    std::printf("  %s v%-4u: %4u %4u %4u %4u\n", kind, v, s[0], s[1], s[2],
+                s[3]);
+  }
+
+  std::printf("\ntotal sweep cost: %llu BFS-visited vertices, %.3fs\n",
+              static_cast<unsigned long long>(r.stats.visited_vertices),
+              r.stats.seconds);
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "apps/community.h"
+
+#include <algorithm>
+
+#include "graph/connectivity.h"
+#include "traversal/bounded_bfs.h"
+
+namespace hcore {
+
+CommunityResult DistanceCocktailParty(const Graph& g,
+                                      const std::vector<VertexId>& query,
+                                      int h,
+                                      const KhCoreOptions& core_options) {
+  CommunityResult out;
+  const VertexId n = g.num_vertices();
+  if (query.empty() || n == 0) return out;
+  for (VertexId q : query) HCORE_CHECK(q < n);
+
+  KhCoreOptions opts = core_options;
+  opts.h = h;
+  KhCoreResult cores = KhCoreDecomposition(g, opts);
+
+  // k can be at most the minimum core index over the query.
+  uint32_t k_hi = cores.core[query.front()];
+  for (VertexId q : query) k_hi = std::min(k_hi, cores.core[q]);
+
+  // Scan k downward until the query lies in one component of G[C_k]. The
+  // first such k is optimal (Appendix B).
+  std::vector<uint8_t> alive(n, 0);
+  for (uint32_t k = k_hi;; --k) {
+    for (VertexId v = 0; v < n; ++v) alive[v] = (cores.core[v] >= k) ? 1 : 0;
+    ConnectedComponents cc = ComputeConnectedComponents(g, alive);
+    const uint32_t target = cc.component[query.front()];
+    bool together = true;
+    for (VertexId q : query) together &= (cc.component[q] == target);
+    if (together) {
+      out.feasible = true;
+      out.core_level = k;
+      for (VertexId v = 0; v < n; ++v) {
+        if (alive[v] && cc.component[v] == target) out.vertices.push_back(v);
+      }
+      // Report the achieved objective on the returned component.
+      std::vector<uint8_t> mask(n, 0);
+      for (VertexId v : out.vertices) mask[v] = 1;
+      BoundedBfs bfs(n);
+      uint32_t min_deg = static_cast<uint32_t>(out.vertices.size());
+      for (VertexId v : out.vertices) {
+        min_deg = std::min(min_deg, bfs.HDegree(g, mask, v, h));
+      }
+      out.min_h_degree = min_deg;
+      return out;
+    }
+    if (k == 0) break;  // disconnected even in C_0 = V: infeasible
+  }
+  return out;
+}
+
+}  // namespace hcore

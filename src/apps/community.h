@@ -1,0 +1,40 @@
+// Distance-generalized cocktail party / community search (paper Appendix B).
+//
+// Given query vertices Q, find a connected vertex set S ⊇ Q maximizing the
+// minimum h-degree of G[S] (Problem 2). The optimum is the connected
+// component containing Q of the (k,h)-core with the largest k for which all
+// of Q are in one component.
+
+#ifndef HCORE_APPS_COMMUNITY_H_
+#define HCORE_APPS_COMMUNITY_H_
+
+#include <vector>
+
+#include "core/kh_core.h"
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Result of a distance-generalized cocktail-party query.
+struct CommunityResult {
+  /// Whether a connected solution containing all of Q exists at all (false
+  /// iff the query vertices are split across components of G).
+  bool feasible = false;
+  /// The community (empty when infeasible).
+  std::vector<VertexId> vertices;
+  /// The achieved objective: min_v deg^h_{G[S]}(v).
+  uint32_t min_h_degree = 0;
+  /// The core level k at which the solution was extracted.
+  uint32_t core_level = 0;
+};
+
+/// Solves the distance-generalized cocktail-party problem exactly via the
+/// (k,h)-core decomposition. Query ids must be valid vertices.
+CommunityResult DistanceCocktailParty(const Graph& g,
+                                      const std::vector<VertexId>& query,
+                                      int h,
+                                      const KhCoreOptions& core_options = {});
+
+}  // namespace hcore
+
+#endif  // HCORE_APPS_COMMUNITY_H_

@@ -1,0 +1,126 @@
+#include "apps/densest.h"
+
+#include <algorithm>
+
+#include "traversal/bounded_bfs.h"
+#include "util/bucket_queue.h"
+
+namespace hcore {
+
+double AverageHDegree(const Graph& g, const std::vector<VertexId>& s, int h) {
+  if (s.empty()) return 0.0;
+  std::vector<uint8_t> alive(g.num_vertices(), 0);
+  for (VertexId v : s) alive[v] = 1;
+  BoundedBfs bfs(g.num_vertices());
+  uint64_t total = 0;
+  for (VertexId v : s) total += bfs.HDegree(g, alive, v, h);
+  return static_cast<double>(total) / static_cast<double>(s.size());
+}
+
+DensestResult DensestByCoreDecomposition(const Graph& g, int h,
+                                         const KhCoreOptions& core_options) {
+  KhCoreOptions opts = core_options;
+  opts.h = h;
+  KhCoreResult cores = KhCoreDecomposition(g, opts);
+
+  // Distinct core levels, high to low; evaluate f_h for each.
+  std::vector<uint32_t> levels(cores.core.begin(), cores.core.end());
+  std::sort(levels.begin(), levels.end(), std::greater<uint32_t>());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+  DensestResult best;
+  for (uint32_t k : levels) {
+    std::vector<VertexId> members = cores.CoreVertices(k);
+    double density = AverageHDegree(g, members, h);
+    if (density > best.density ||
+        (best.vertices.empty() && !members.empty())) {
+      best.density = density;
+      best.vertices = std::move(members);
+    }
+  }
+  return best;
+}
+
+DensestResult DensestByGreedyPeeling(const Graph& g, int h) {
+  const VertexId n = g.num_vertices();
+  DensestResult best;
+  if (n == 0) return best;
+
+  BoundedBfs bfs(n);
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> hdeg(n);
+  BucketQueue queue(n, n);
+  uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    hdeg[v] = bfs.HDegree(g, alive, v, h);
+    degree_sum += hdeg[v];
+    queue.Insert(v, hdeg[v]);
+  }
+
+  // Track the best average over all peel prefixes; reconstruct at the end.
+  std::vector<VertexId> removal_order;
+  removal_order.reserve(n);
+  double best_density = static_cast<double>(degree_sum) / n;
+  size_t best_removed = 0;
+
+  std::vector<std::pair<VertexId, int>> nbhd;
+  uint32_t remaining = n;
+  for (uint32_t k = 0; k <= queue.max_key() && !queue.empty(); ++k) {
+    while (!queue.BucketEmpty(k)) {
+      // Unlike core peeling we always take the globally-minimal h-degree,
+      // which is exactly bucket k or below after clamping; the clamp in
+      // Move() keeps minima at >= k so the scan order is correct.
+      VertexId v = queue.PopFront(k);
+      removal_order.push_back(v);
+      degree_sum -= hdeg[v];
+      bfs.CollectNeighborhood(g, alive, v, h, &nbhd);
+      alive[v] = 0;
+      --remaining;
+      for (const auto& [u, d] : nbhd) {
+        (void)d;
+        if (!alive[u] || !queue.Contains(u)) continue;
+        uint32_t fresh = bfs.HDegree(g, alive, u, h);
+        degree_sum -= hdeg[u];
+        degree_sum += fresh;
+        hdeg[u] = fresh;
+        queue.Move(u, std::max(fresh, k));
+      }
+      if (remaining > 0) {
+        double density =
+            static_cast<double>(degree_sum) / static_cast<double>(remaining);
+        if (density > best_density) {
+          best_density = density;
+          best_removed = removal_order.size();
+        }
+      }
+    }
+  }
+
+  std::vector<uint8_t> in_best(n, 1);
+  for (size_t i = 0; i < best_removed; ++i) in_best[removal_order[i]] = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_best[v]) best.vertices.push_back(v);
+  }
+  best.density = best_density;
+  return best;
+}
+
+DensestResult DensestByBruteForce(const Graph& g, int h) {
+  const VertexId n = g.num_vertices();
+  HCORE_CHECK(n <= 20);
+  DensestResult best;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> s;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) s.push_back(v);
+    }
+    double density = AverageHDegree(g, s, h);
+    if (density > best.density || best.vertices.empty()) {
+      best.density = density;
+      best.vertices = std::move(s);
+    }
+  }
+  return best;
+}
+
+}  // namespace hcore

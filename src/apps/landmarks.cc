@@ -1,0 +1,111 @@
+#include "apps/landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "centrality/betweenness.h"
+#include "centrality/closeness.h"
+#include "traversal/bounded_bfs.h"
+#include "traversal/distances.h"
+
+namespace hcore {
+
+std::vector<VertexId> SelectLandmarks(const Graph& g, uint32_t count,
+                                      LandmarkStrategy strategy, int h,
+                                      Rng* rng) {
+  const VertexId n = g.num_vertices();
+  count = std::min<uint32_t>(count, n);
+  if (count == 0) return {};
+  switch (strategy) {
+    case LandmarkStrategy::kMaxKhCore: {
+      KhCoreOptions opts;
+      opts.h = h;
+      KhCoreResult cores = KhCoreDecomposition(g, opts);
+      std::vector<VertexId> pool = cores.MaxCoreVertices();
+      if (pool.size() <= count) return pool;
+      std::vector<VertexId> picked;
+      for (uint32_t i :
+           rng->SampleWithoutReplacement(static_cast<uint32_t>(pool.size()),
+                                         count)) {
+        picked.push_back(pool[i]);
+      }
+      return picked;
+    }
+    case LandmarkStrategy::kCloseness:
+      return TopK(ClosenessCentrality(g), count);
+    case LandmarkStrategy::kBetweenness:
+      return TopK(BetweennessCentrality(g), count);
+    case LandmarkStrategy::kHDegree: {
+      BoundedBfs bfs(n);
+      std::vector<uint8_t> alive(n, 1);
+      std::vector<double> score(n);
+      for (VertexId v = 0; v < n; ++v) {
+        score[v] = static_cast<double>(bfs.HDegree(g, alive, v, h));
+      }
+      return TopK(score, count);
+    }
+    case LandmarkStrategy::kRandom:
+      return rng->SampleWithoutReplacement(n, count);
+  }
+  HCORE_CHECK(false);
+  return {};
+}
+
+LandmarkOracle::LandmarkOracle(const Graph& g, std::vector<VertexId> landmarks)
+    : landmarks_(std::move(landmarks)) {
+  dist_.reserve(landmarks_.size());
+  for (VertexId u : landmarks_) {
+    dist_.push_back(BfsDistances(g, u));
+  }
+}
+
+uint32_t LandmarkOracle::LowerBound(VertexId s, VertexId t) const {
+  uint32_t best = 0;
+  for (const auto& d : dist_) {
+    if (d[s] == kUnreachable || d[t] == kUnreachable) continue;
+    uint32_t lo = d[s] > d[t] ? d[s] - d[t] : d[t] - d[s];
+    best = std::max(best, lo);
+  }
+  return best;
+}
+
+uint32_t LandmarkOracle::UpperBound(VertexId s, VertexId t) const {
+  uint32_t best = kUnreachable;
+  for (const auto& d : dist_) {
+    if (d[s] == kUnreachable || d[t] == kUnreachable) continue;
+    best = std::min(best, d[s] + d[t]);
+  }
+  return best;
+}
+
+double LandmarkOracle::Estimate(VertexId s, VertexId t) const {
+  const uint32_t lo = LowerBound(s, t);
+  const uint32_t hi = UpperBound(s, t);
+  if (hi == kUnreachable) return static_cast<double>(lo);
+  return (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+}
+
+double EvaluateLandmarkError(const Graph& g, const LandmarkOracle& oracle,
+                             uint32_t num_pairs, Rng* rng) {
+  const VertexId n = g.num_vertices();
+  HCORE_CHECK(n >= 2);
+  double total_error = 0.0;
+  uint32_t measured = 0;
+  uint32_t attempts = 0;
+  const uint32_t max_attempts = num_pairs * 50 + 100;
+  while (measured < num_pairs && attempts < max_attempts) {
+    ++attempts;
+    VertexId s = rng->NextIndex(n);
+    VertexId t = rng->NextIndex(n);
+    if (s == t) continue;
+    uint32_t d = Distance(g, s, t);
+    if (d == kUnreachable || d == 0) continue;
+    double est = oracle.Estimate(s, t);
+    total_error += std::abs(est - static_cast<double>(d)) / d;
+    ++measured;
+  }
+  HCORE_CHECK(measured > 0);
+  return total_error / measured;
+}
+
+}  // namespace hcore

@@ -1,0 +1,67 @@
+// Landmark selection for shortest-path distance estimation (paper §6.6).
+//
+// A landmark oracle precomputes BFS distances from ℓ landmarks; a query
+// (s, t) is answered by the triangle-inequality sandwich
+//   max_u |d(s,u) - d(u,t)|  <=  d(s,t)  <=  min_u d(s,u) + d(u,t)
+// and estimated by the midpoint of the two bounds. The paper's hypothesis:
+// random vertices from the innermost (k,h)-core (h in [1,4]) are better
+// landmarks than top-closeness / top-betweenness / top-h-degree vertices.
+
+#ifndef HCORE_APPS_LANDMARKS_H_
+#define HCORE_APPS_LANDMARKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kh_core.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace hcore {
+
+/// Landmark selection strategies compared in Table 7.
+enum class LandmarkStrategy {
+  kMaxKhCore,    ///< Uniform from the innermost (k,h)-core (paper's method).
+  kCloseness,    ///< Top-ℓ closeness centrality.
+  kBetweenness,  ///< Top-ℓ betweenness centrality.
+  kHDegree,      ///< Top-ℓ h-degree.
+  kRandom,       ///< Uniform from V (sanity baseline).
+};
+
+/// Selects `count` landmarks with the given strategy. `h` parameterizes
+/// kMaxKhCore and kHDegree (ignored otherwise; use 1 for classic).
+std::vector<VertexId> SelectLandmarks(const Graph& g, uint32_t count,
+                                      LandmarkStrategy strategy, int h,
+                                      Rng* rng);
+
+/// Landmark-based distance oracle with triangle-inequality bounds.
+class LandmarkOracle {
+ public:
+  /// Precomputes one BFS per landmark: O(ℓ·(n+m)) time, O(ℓ·n) space.
+  LandmarkOracle(const Graph& g, std::vector<VertexId> landmarks);
+
+  /// Lower bound max_u |d(s,u) - d(u,t)| (0 if no landmark reaches both).
+  uint32_t LowerBound(VertexId s, VertexId t) const;
+
+  /// Upper bound min_u d(s,u) + d(u,t) (kUnreachable if none reaches both).
+  uint32_t UpperBound(VertexId s, VertexId t) const;
+
+  /// Midpoint estimate (LB + UB) / 2 as used in the paper's error metric.
+  double Estimate(VertexId s, VertexId t) const;
+
+  const std::vector<VertexId>& landmarks() const { return landmarks_; }
+
+ private:
+  std::vector<VertexId> landmarks_;
+  std::vector<std::vector<uint32_t>> dist_;  // dist_[i][v]
+};
+
+/// Mean relative error |estimate - d| / d over `num_pairs` random connected
+/// pairs s != t (pairs with d = 0 or disconnected pairs are resampled).
+/// This is the paper's Table-7 metric.
+double EvaluateLandmarkError(const Graph& g, const LandmarkOracle& oracle,
+                             uint32_t num_pairs, Rng* rng);
+
+}  // namespace hcore
+
+#endif  // HCORE_APPS_LANDMARKS_H_

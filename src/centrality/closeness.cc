@@ -1,0 +1,43 @@
+#include "centrality/closeness.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "traversal/distances.h"
+
+namespace hcore {
+
+std::vector<double> ClosenessCentrality(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> score(n, 0.0);
+  if (n <= 1) return score;
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<uint32_t> dist = BfsDistances(g, v);
+    uint64_t sum = 0;
+    uint64_t reachable = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      if (u == v || dist[u] == kUnreachable) continue;
+      sum += dist[u];
+      ++reachable;
+    }
+    if (sum == 0) continue;
+    const double r = static_cast<double>(reachable);
+    score[v] = (r / static_cast<double>(sum)) * (r / (n - 1));
+  }
+  return score;
+}
+
+std::vector<VertexId> TopK(const std::vector<double>& score, uint32_t k) {
+  std::vector<VertexId> order(score.size());
+  for (VertexId v = 0; v < order.size(); ++v) order[v] = v;
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](VertexId a, VertexId b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace hcore

@@ -1,0 +1,24 @@
+// Closeness centrality (exact, all-sources BFS). Baseline landmark selector
+// in the paper's §6.6 and the x-axis of Figure 7.
+
+#ifndef HCORE_CENTRALITY_CLOSENESS_H_
+#define HCORE_CENTRALITY_CLOSENESS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Exact harmonic-normalized closeness: c(v) = (r-1) / Σ_u d(v,u) scaled by
+/// (r-1)/(n-1), where r is the size of v's connected component (the
+/// Wasserman–Faust correction, well-defined on disconnected graphs).
+/// Cost O(n·m); intended for small/medium graphs.
+std::vector<double> ClosenessCentrality(const Graph& g);
+
+/// Indexes of the `k` highest-scoring vertices, descending (ties by id).
+std::vector<VertexId> TopK(const std::vector<double>& score, uint32_t k);
+
+}  // namespace hcore
+
+#endif  // HCORE_CENTRALITY_CLOSENESS_H_

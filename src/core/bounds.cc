@@ -1,0 +1,140 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+
+#include "util/bucket_queue.h"
+
+namespace hcore {
+
+std::vector<uint32_t> ComputeLB1(const Graph& g, int h,
+                                 HDegreeComputer* degrees) {
+  HCORE_CHECK(h >= 2);
+  const VertexId n = g.num_vertices();
+  const int radius = h / 2;  // ⌊h/2⌋ >= 1 for h >= 2.
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> lb1(n, 0);
+  degrees->ComputeAllAlive(g, alive, radius, &lb1);
+  return lb1;
+}
+
+std::vector<uint32_t> ComputeLB2(const Graph& g, int h,
+                                 const std::vector<uint32_t>& lb1,
+                                 HDegreeComputer* degrees) {
+  HCORE_CHECK(h >= 2);
+  const VertexId n = g.num_vertices();
+  const int radius = (h + 1) / 2;  // ⌈h/2⌉
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> lb2 = lb1;
+  // For every v, take the maximum LB1 over its closed ⌈h/2⌉-neighborhood.
+  // Each vertex's neighborhood is enumerated on the calling thread; the
+  // traversal volume matches LB1's and is charged to the same stats.
+  std::vector<std::pair<VertexId, int>> nbhd;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees->CollectNeighborhood(g, alive, v, radius, &nbhd);
+    for (const auto& [u, d] : nbhd) {
+      lb2[v] = std::max(lb2[v], lb1[u]);
+    }
+  }
+  return lb2;
+}
+
+std::vector<uint32_t> ComputePowerGraphUpperBound(
+    const Graph& g, int h, const std::vector<uint32_t>& hdeg,
+    HDegreeComputer* degrees, std::vector<VertexId>* peel_order) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> ub(n, 0);
+  if (peel_order != nullptr) {
+    peel_order->clear();
+    peel_order->reserve(n);
+  }
+  if (n == 0) return ub;
+  uint32_t max_key = 0;
+  for (uint32_t d : hdeg) max_key = std::max(max_key, d);
+  BucketQueue queue(n, max_key);
+  std::vector<uint32_t> deg = hdeg;
+  std::vector<uint8_t> alive(n, 1);
+  for (VertexId v = 0; v < n; ++v) queue.Insert(v, deg[v]);
+
+  std::vector<std::pair<VertexId, int>> nbhd;
+  uint32_t k = 0;
+  for (uint32_t bucket = 0; bucket <= max_key; ++bucket) {
+    while (!queue.BucketEmpty(bucket)) {
+      const VertexId v = queue.PopFront(bucket);
+      k = std::max(k, bucket);
+      ub[v] = k;
+      if (peel_order != nullptr) peel_order->push_back(v);
+      // One h-BFS per removal: enumerate the (still alive) neighborhood and
+      // decrement optimistic degrees by 1 — this is exactly peeling G^h
+      // without materializing it, hence an upper bound (§4.4).
+      degrees->CollectNeighborhood(g, alive, v, h, &nbhd);
+      alive[v] = 0;
+      for (const auto& [u, dist] : nbhd) {
+        (void)dist;
+        if (!queue.Contains(u)) continue;
+        if (deg[u] > bucket) {
+          --deg[u];
+          queue.Move(u, std::max(deg[u], bucket));
+        }
+      }
+    }
+  }
+  return ub;
+}
+
+ImproveLbResult ImproveLB(const Graph& g, int h, uint32_t k_min,
+                          std::vector<uint8_t>* alive,
+                          const std::vector<uint32_t>& lb2,
+                          HDegreeComputer* degrees) {
+  const VertexId n = g.num_vertices();
+  ImproveLbResult out;
+  out.hdeg.assign(n, 0);
+  out.lb3.assign(n, 0);
+  degrees->ComputeAllAlive(g, *alive, h, &out.hdeg);
+
+  // Minimum h-degree over the candidate set, before cleaning (Property 3).
+  uint32_t min_hdeg = 0;
+  bool any = false;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!(*alive)[v]) continue;
+    min_hdeg = any ? std::min(min_hdeg, out.hdeg[v]) : out.hdeg[v];
+    any = true;
+  }
+  if (!any) return out;
+
+  // Cascade-remove vertices whose optimistic h-degree sinks below k_min.
+  // As in Algorithm 5, each removal only decrements neighbors by 1 (an
+  // upper bound on the true h-degree), which is sound for exclusion.
+  std::vector<VertexId> stack;
+  std::vector<uint8_t> queued(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if ((*alive)[v] && out.hdeg[v] < k_min) {
+      stack.push_back(v);
+      queued[v] = 1;
+    }
+  }
+  std::vector<std::pair<VertexId, int>> nbhd;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    if (!(*alive)[v]) continue;
+    degrees->CollectNeighborhood(g, *alive, v, h, &nbhd);
+    (*alive)[v] = 0;
+    ++out.removed;
+    for (const auto& [u, dist] : nbhd) {
+      (void)dist;
+      if (!(*alive)[u]) continue;
+      if (out.hdeg[u] > 0) --out.hdeg[u];
+      if (out.hdeg[u] < k_min && !queued[u]) {
+        stack.push_back(u);
+        queued[u] = 1;
+      }
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if ((*alive)[v]) out.lb3[v] = std::max(lb2[v], min_hdeg);
+  }
+  return out;
+}
+
+}  // namespace hcore

@@ -1,0 +1,44 @@
+#include "core/classic_core.h"
+
+#include <algorithm>
+
+#include "util/bucket_queue.h"
+
+namespace hcore {
+
+ClassicCoreResult ClassicCoreDecomposition(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  ClassicCoreResult out;
+  out.core.assign(n, 0);
+  out.peel_order.reserve(n);
+  if (n == 0) return out;
+
+  const uint32_t max_deg = g.MaxDegree();
+  BucketQueue queue(n, max_deg);
+  std::vector<uint32_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    queue.Insert(v, deg[v]);
+  }
+
+  uint32_t k = 0;
+  for (uint32_t bucket = 0; bucket <= max_deg; ++bucket) {
+    while (!queue.BucketEmpty(bucket)) {
+      const VertexId v = queue.PopFront(bucket);
+      k = std::max(k, bucket);
+      out.core[v] = k;
+      out.peel_order.push_back(v);
+      for (VertexId u : g.neighbors(v)) {
+        if (!queue.Contains(u)) continue;  // already peeled
+        if (deg[u] > bucket) {
+          --deg[u];
+          queue.Move(u, std::max(deg[u], bucket));
+        }
+      }
+    }
+  }
+  out.degeneracy = k;
+  return out;
+}
+
+}  // namespace hcore

@@ -1,0 +1,33 @@
+// Classic (h = 1) core decomposition: the linear-time Batagelj–Zaveršnik
+// peeling algorithm [11]. Used as the h = 1 fast path, as the engine behind
+// the power-graph upper bound (Alg. 5 semantics), and as a baseline in the
+// characterization experiments.
+
+#ifndef HCORE_CORE_CLASSIC_CORE_H_
+#define HCORE_CORE_CLASSIC_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Output of the classic core decomposition.
+struct ClassicCoreResult {
+  /// core[v]: largest k such that v belongs to the k-core.
+  std::vector<uint32_t> core;
+  /// Largest k with a non-empty k-core (0 for the empty graph).
+  uint32_t degeneracy = 0;
+  /// Vertices in the order they were peeled (smallest-degree-first). The
+  /// reverse of this order is a degeneracy ordering, used by the greedy
+  /// coloring of Theorem 1.
+  std::vector<VertexId> peel_order;
+};
+
+/// Runs Batagelj–Zaveršnik peeling in O(n + m).
+ClassicCoreResult ClassicCoreDecomposition(const Graph& g);
+
+}  // namespace hcore
+
+#endif  // HCORE_CORE_CLASSIC_CORE_H_

@@ -1,0 +1,204 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/connectivity.h"
+#include "util/check.h"
+
+namespace hcore {
+namespace {
+
+/// Union-find over vertex ids with path compression and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n) : parent_(n, kInvalidVertex), size_(n, 0) {}
+
+  void MakeSet(VertexId v) {
+    parent_[v] = v;
+    size_[v] = 1;
+  }
+
+  bool Active(VertexId v) const { return parent_[v] != kInvalidVertex; }
+
+  VertexId Find(VertexId v) {
+    VertexId root = v;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[v] != root) {
+      VertexId next = parent_[v];
+      parent_[v] = root;
+      v = next;
+    }
+    return root;
+  }
+
+  /// Unions the sets of a and b; returns the surviving root.
+  VertexId Union(VertexId a, VertexId b) {
+    VertexId ra = Find(a);
+    VertexId rb = Find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<uint32_t> size_;
+};
+
+struct LevelBucket {
+  std::vector<uint32_t> old_nodes;     // nodes merged into this component
+  std::vector<VertexId> new_vertices;  // vertices activated at this level
+};
+
+}  // namespace
+
+std::vector<VertexId> CoreHierarchy::ComponentVertices(uint32_t node) const {
+  HCORE_CHECK(node < nodes.size());
+  std::vector<VertexId> out;
+  std::vector<uint32_t> stack{node};
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    const CoreHierarchyNode& n = nodes[id];
+    out.insert(out.end(), n.new_vertices.begin(), n.new_vertices.end());
+    stack.insert(stack.end(), n.children.begin(), n.children.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CoreHierarchy BuildCoreHierarchy(const Graph& g,
+                                 const std::vector<uint32_t>& core) {
+  const VertexId n = g.num_vertices();
+  HCORE_CHECK(core.size() == n);
+  CoreHierarchy out;
+  out.node_of.assign(n, CoreHierarchyNode::kNoParentSentinel);
+  if (n == 0) return out;
+
+  uint32_t max_level = 0;
+  for (uint32_t c : core) max_level = std::max(max_level, c);
+  // Vertices grouped by core index.
+  std::vector<std::vector<VertexId>> by_level(max_level + 1);
+  for (VertexId v = 0; v < n; ++v) by_level[core[v]].push_back(v);
+
+  UnionFind uf(n);
+  // comp_node[root vertex] = current hierarchy node of that component.
+  std::unordered_map<VertexId, uint32_t> comp_node;
+
+  for (uint32_t k = max_level;; --k) {
+    // Per-level buckets keyed by the (evolving) component root.
+    std::unordered_map<VertexId, LevelBucket> touched;
+
+    auto bucket_of = [&](VertexId root) -> LevelBucket& {
+      auto [it, inserted] = touched.try_emplace(root);
+      if (inserted) {
+        auto existing = comp_node.find(root);
+        if (existing != comp_node.end()) {
+          it->second.old_nodes.push_back(existing->second);
+        }
+      }
+      return it->second;
+    };
+
+    auto merge_buckets = [&](VertexId into, VertexId from) {
+      if (into == from) return;
+      LevelBucket& dst = bucket_of(into);
+      auto it = touched.find(from);
+      if (it == touched.end()) {
+        // `from` was an untouched old component: adopt its node.
+        auto existing = comp_node.find(from);
+        if (existing != comp_node.end()) {
+          dst.old_nodes.push_back(existing->second);
+          comp_node.erase(existing);
+        }
+        return;
+      }
+      dst.old_nodes.insert(dst.old_nodes.end(), it->second.old_nodes.begin(),
+                           it->second.old_nodes.end());
+      dst.new_vertices.insert(dst.new_vertices.end(),
+                              it->second.new_vertices.begin(),
+                              it->second.new_vertices.end());
+      touched.erase(it);
+    };
+
+    for (VertexId v : by_level[k]) {
+      uf.MakeSet(v);
+      bucket_of(v).new_vertices.push_back(v);
+    }
+    for (VertexId v : by_level[k]) {
+      for (VertexId u : g.neighbors(v)) {
+        if (!uf.Active(u)) continue;
+        VertexId rv = uf.Find(v);
+        VertexId ru = uf.Find(u);
+        if (rv == ru) continue;
+        VertexId rz = uf.Union(rv, ru);
+        VertexId other = (rz == rv) ? ru : rv;
+        // Fold the losing root's bucket/node into the surviving root.
+        if (touched.count(rz) == 0 && comp_node.count(rz) == 0) {
+          // The survivor had no state keyed yet (it may be a brand-new
+          // vertex set whose bucket is keyed by `other`); swap roles via
+          // explicit bucket creation.
+          bucket_of(rz);
+        }
+        merge_buckets(rz, other);
+        comp_node.erase(other);
+      }
+    }
+
+    // Materialize one node per touched final component.
+    for (auto& [root, bucket] : touched) {
+      HCORE_CHECK(uf.Find(root) == root);
+      if (bucket.new_vertices.empty() && bucket.old_nodes.size() == 1) {
+        // Pure relabeling (cannot normally happen): keep the old node.
+        comp_node[root] = bucket.old_nodes.front();
+        continue;
+      }
+      const uint32_t id = static_cast<uint32_t>(out.nodes.size());
+      out.nodes.emplace_back();
+      CoreHierarchyNode& node = out.nodes.back();
+      node.level = k;
+      node.new_vertices = std::move(bucket.new_vertices);
+      node.children = std::move(bucket.old_nodes);
+      std::sort(node.children.begin(), node.children.end());
+      node.children.erase(
+          std::unique(node.children.begin(), node.children.end()),
+          node.children.end());
+      node.subtree_size = static_cast<uint32_t>(node.new_vertices.size());
+      for (uint32_t child : node.children) {
+        out.nodes[child].parent = id;
+        node.subtree_size += out.nodes[child].subtree_size;
+      }
+      for (VertexId v : node.new_vertices) out.node_of[v] = id;
+      comp_node[root] = id;
+    }
+    if (k == 0) break;
+  }
+
+  for (const auto& [root, node] : comp_node) {
+    (void)root;
+    if (out.nodes[node].parent == CoreHierarchyNode::kNoParentSentinel) {
+      out.roots.push_back(node);
+    }
+  }
+  std::sort(out.roots.begin(), out.roots.end());
+  return out;
+}
+
+std::vector<std::vector<VertexId>> ConnectedCoreComponents(
+    const Graph& g, const std::vector<uint32_t>& core, uint32_t k) {
+  const VertexId n = g.num_vertices();
+  HCORE_CHECK(core.size() == n);
+  std::vector<uint8_t> alive(n, 0);
+  for (VertexId v = 0; v < n; ++v) alive[v] = core[v] >= k ? 1 : 0;
+  ConnectedComponents cc = ComputeConnectedComponents(g, alive);
+  std::vector<std::vector<VertexId>> out(cc.num_components);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) out[cc.component[v]].push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hcore

@@ -1,0 +1,62 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+namespace hcore {
+
+DynamicKhCore::DynamicKhCore(Graph g, const KhCoreOptions& options)
+    : graph_(std::move(g)), options_(options) {
+  // External bounds are managed internally; forbid caller-supplied ones to
+  // avoid dangling pointers across updates.
+  HCORE_CHECK(options_.extra_lower_bound == nullptr);
+  HCORE_CHECK(options_.extra_upper_bound == nullptr);
+  result_ = KhCoreDecomposition(graph_, options_);
+}
+
+Graph DynamicKhCore::RebuildWith(VertexId u, VertexId v, bool insert) const {
+  GraphBuilder builder(std::max({graph_.num_vertices(), u + 1, v + 1}));
+  for (const auto& [a, b] : graph_.Edges()) {
+    if (!insert && ((a == u && b == v) || (a == v && b == u))) continue;
+    builder.AddEdge(a, b);
+  }
+  if (insert) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+bool DynamicKhCore::InsertEdge(VertexId u, VertexId v) {
+  if (u == v || graph_.HasEdge(u, v)) return false;
+  Graph next = RebuildWith(u, v, /*insert=*/true);
+
+  // Old indexes lower-bound the new ones (distances only shrink). New
+  // vertices (if any) get bound 0.
+  std::vector<uint32_t> lower = result_.core;
+  lower.resize(next.num_vertices(), 0);
+
+  KhCoreOptions opts = options_;
+  opts.extra_lower_bound = &lower;
+  graph_ = std::move(next);
+  result_ = KhCoreDecomposition(graph_, opts);
+  return true;
+}
+
+bool DynamicKhCore::DeleteEdge(VertexId u, VertexId v) {
+  if (u >= graph_.num_vertices() || v >= graph_.num_vertices() ||
+      !graph_.HasEdge(u, v)) {
+    return false;
+  }
+  Graph next = RebuildWith(u, v, /*insert=*/false);
+
+  // Old indexes upper-bound the new ones (distances only grow).
+  std::vector<uint32_t> upper = result_.core;
+
+  KhCoreOptions opts = options_;
+  opts.extra_upper_bound = &upper;
+  // The upper-bound path only exists in h-LB+UB; force it for h > 1 (h = 1
+  // routes to the classic linear algorithm anyway).
+  opts.algorithm = KhCoreAlgorithm::kLbUb;
+  graph_ = std::move(next);
+  result_ = KhCoreDecomposition(graph_, opts);
+  return true;
+}
+
+}  // namespace hcore

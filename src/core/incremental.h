@@ -1,0 +1,59 @@
+// Warm-start maintenance of a (k,h)-core decomposition under edge updates.
+//
+// Full dynamic maintenance of distance-generalized cores is open research;
+// what this module provides is a *provably correct warm start* that reuses
+// the previous decomposition as a bound for the next one:
+//
+//  * after an edge INSERTION, distances only shrink, so every old core
+//    index is a valid LOWER bound on the new one — the h-LB machinery
+//    starts from it and skips most h-degree recomputations;
+//  * after an edge DELETION, distances only grow, so every old core index
+//    is a valid UPPER bound — h-LB+UB partitions on it directly and skips
+//    the Algorithm-5 peel entirely.
+//
+// Both paths return exactly the decomposition a fresh run would produce
+// (verified by the test suite); they are faster on local updates because
+// the old indexes are much tighter than LB2/UB computed from scratch.
+
+#ifndef HCORE_CORE_INCREMENTAL_H_
+#define HCORE_CORE_INCREMENTAL_H_
+
+#include <vector>
+
+#include "core/kh_core.h"
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// A (k,h)-core decomposition that can be advanced across edge updates.
+class DynamicKhCore {
+ public:
+  /// Decomposes `g` from scratch. `options.h` is the distance threshold for
+  /// the lifetime of this object.
+  DynamicKhCore(Graph g, const KhCoreOptions& options);
+
+  const Graph& graph() const { return graph_; }
+  const KhCoreResult& result() const { return result_; }
+  int h() const { return options_.h; }
+
+  /// Applies an edge insertion and refreshes the decomposition using the
+  /// old core indexes as lower bounds. No-op (returns false) if the edge
+  /// already exists or is a self-loop; vertex ids beyond the current vertex
+  /// count grow the graph.
+  bool InsertEdge(VertexId u, VertexId v);
+
+  /// Applies an edge deletion and refreshes the decomposition using the old
+  /// core indexes as upper bounds. Returns false if the edge was absent.
+  bool DeleteEdge(VertexId u, VertexId v);
+
+ private:
+  Graph RebuildWith(VertexId u, VertexId v, bool insert) const;
+
+  Graph graph_;
+  KhCoreOptions options_;
+  KhCoreResult result_;
+};
+
+}  // namespace hcore
+
+#endif  // HCORE_CORE_INCREMENTAL_H_

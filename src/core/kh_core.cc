@@ -1,0 +1,401 @@
+#include "core/kh_core.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/bounds.h"
+#include "core/classic_core.h"
+#include "traversal/bounded_bfs.h"
+#include "traversal/h_degree.h"
+#include "util/bucket_queue.h"
+#include "util/timer.h"
+
+namespace hcore {
+namespace {
+
+/// Shared machinery for the three peeling algorithms. One Engine instance
+/// performs one decomposition.
+class Engine {
+ public:
+  Engine(const Graph& g, const KhCoreOptions& opts)
+      : g_(g),
+        n_(g.num_vertices()),
+        h_(opts.h),
+        opts_(opts),
+        degrees_(n_, opts.num_threads),
+        alive_(n_, 1),
+        hdeg_(n_, 0),
+        set_lb_(n_, 0),
+        assigned_(n_, 0),
+        queue_(n_, n_ > 0 ? n_ : 1) {
+    result_.core.assign(n_, 0);
+    result_.h = h_;
+  }
+
+  KhCoreResult Run(KhCoreAlgorithm algorithm) {
+    WallTimer timer;
+    switch (algorithm) {
+      case KhCoreAlgorithm::kBz:
+        RunBz();
+        break;
+      case KhCoreAlgorithm::kLb:
+        if (opts_.lower_bound == LowerBoundMode::kNone &&
+            opts_.extra_lower_bound == nullptr) {
+          // "No lower bound" degenerates to the baseline (Table 5).
+          RunBz();
+        } else {
+          RunLb();
+        }
+        break;
+      case KhCoreAlgorithm::kLbUb:
+        RunLbUb();
+        break;
+      case KhCoreAlgorithm::kAuto:
+        HCORE_CHECK(false);  // resolved by the caller
+    }
+    result_.stats.visited_vertices = degrees_.total_visited();
+    result_.stats.seconds = timer.ElapsedSeconds();
+    uint32_t degeneracy = 0;
+    for (uint32_t c : result_.core) degeneracy = std::max(degeneracy, c);
+    result_.degeneracy = degeneracy;
+    return std::move(result_);
+  }
+
+ private:
+  // -------------------------------------------------------------------
+  // Algorithm 1: h-BZ. Peel in h-degree order; every surviving vertex of a
+  // removed vertex's h-neighborhood gets a full h-degree recomputation.
+  // -------------------------------------------------------------------
+  void RunBz() {
+    degrees_.ComputeAllAlive(g_, alive_, h_, &hdeg_);
+    result_.stats.hdegree_computations += n_;
+    for (VertexId v = 0; v < n_; ++v) queue_.Insert(v, hdeg_[v]);
+
+    for (uint32_t k = 0; k < queue_.max_key() + 1 && !queue_.empty(); ++k) {
+      while (!queue_.BucketEmpty(k)) {
+        const VertexId v = queue_.PopFront(k);
+        result_.core[v] = k;
+        assigned_[v] = 1;
+        degrees_.CollectNeighborhood(g_, alive_, v, h_, &nbhd_);
+        alive_[v] = 0;
+        batch_.clear();
+        for (const auto& [u, d] : nbhd_) {
+          (void)d;
+          if (!alive_[u] || !queue_.Contains(u)) continue;
+          // Once u sits in the current bucket its key is pinned at k
+          // (max(deg, k) = k and h-degrees only shrink), so recomputing
+          // would be wasted work — the correctness argument of Algorithm 1
+          // ("future removals maintain u in B[k]") makes this skip exact.
+          if (queue_.KeyOf(u) == k) continue;
+          batch_.push_back(u);
+        }
+        RecomputeAndMove(k);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Algorithms 2+3: h-LB. Vertices start at their lower bound with lazy
+  // h-degrees; see CoreDecomp for the peeling loop.
+  // -------------------------------------------------------------------
+  void RunLb() {
+    WallTimer bound_timer;
+    std::vector<uint32_t> lb = ComputeLowerBound();
+    result_.stats.bound_seconds += bound_timer.ElapsedSeconds();
+    for (VertexId v = 0; v < n_; ++v) {
+      set_lb_[v] = 1;
+      queue_.Insert(v, lb[v]);
+    }
+    CoreDecomp(/*k_min=*/0, /*k_max=*/n_);
+  }
+
+  // -------------------------------------------------------------------
+  // Algorithms 4+5+6: h-LB+UB. Partition the upper-bound codomain and peel
+  // top-down; each partition is cleaned by ImproveLB first.
+  // -------------------------------------------------------------------
+  void RunLbUb() {
+    if (n_ == 0) return;
+    WallTimer bound_timer;
+    // Lines 3-5 of Algorithm 4: full h-degrees and lower bounds.
+    degrees_.ComputeAllAlive(g_, alive_, h_, &hdeg_);
+    result_.stats.hdegree_computations += n_;
+    std::vector<uint32_t> lb = ComputeLowerBound();
+    std::vector<uint32_t> ub;
+    if (opts_.extra_upper_bound != nullptr) {
+      HCORE_CHECK(opts_.extra_upper_bound->size() == n_);
+      ub = *opts_.extra_upper_bound;
+      // The h-degree is always a valid upper bound too; take the tighter.
+      for (VertexId v = 0; v < n_; ++v) ub[v] = std::min(ub[v], hdeg_[v]);
+    } else if (opts_.upper_bound == UpperBoundMode::kPowerGraph) {
+      ub = ComputePowerGraphUpperBound(g_, h_, hdeg_, &degrees_);
+    } else {
+      ub = hdeg_;
+    }
+    result_.stats.bound_seconds += bound_timer.ElapsedSeconds();
+
+    // Ordered codomain of UB, descending (line 8-10).
+    std::vector<uint32_t> codomain(ub.begin(), ub.end());
+    std::sort(codomain.begin(), codomain.end(), std::greater<uint32_t>());
+    codomain.erase(std::unique(codomain.begin(), codomain.end()),
+                   codomain.end());
+
+    uint32_t lb0 = lb[0];
+    for (uint32_t x : lb) lb0 = std::min(lb0, x);
+
+    uint32_t step = static_cast<uint32_t>(opts_.partition_size);
+    if (step == 0) {
+      step = std::max<uint32_t>(
+          1, static_cast<uint32_t>(codomain.size()) / 16);
+    }
+
+    // Line 11: intervals of `step` contiguous upper-bound values, visited
+    // top-down. The floor of the last interval is the global minimum lower
+    // bound lb0 (the paper appends min LB2 - 1 to U; equivalent).
+    for (size_t i = 0; i < codomain.size(); i += step) {
+      const uint32_t k_max = codomain[i];
+      const uint32_t k_min = (i + step < codomain.size())
+                                 ? codomain[i + step] + 1
+                                 : std::min(lb0, codomain.back());
+      ProcessPartition(k_min, k_max, lb, ub);
+      if (k_min == 0) break;  // everything is assigned
+    }
+  }
+
+  void ProcessPartition(uint32_t k_min, uint32_t k_max,
+                        const std::vector<uint32_t>& lb,
+                        const std::vector<uint32_t>& ub) {
+    ++result_.stats.partitions;
+    // Line 12: V[k_min] = {v : UB(v) >= k_min}. This resurrects vertices
+    // peeled by earlier (higher) partitions.
+    uint64_t candidates = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      alive_[v] = (ub[v] >= k_min) ? 1 : 0;
+      candidates += alive_[v];
+    }
+    if (candidates == 0) return;
+
+    // Line 13-14: ImproveLB cleans V[k_min] and lifts the lower bound
+    // (Property 3). Vertices already assigned in higher partitions are
+    // never cleaned: their true h-degree in V[k_min] is >= their core
+    // index >= k_min (Observation 3).
+    ImproveLbResult improved = ImproveLB(g_, h_, k_min, &alive_, lb, &degrees_);
+    result_.stats.hdegree_computations += candidates;
+
+    // Lines 15-17: re-bucket every surviving candidate lazily.
+    const uint32_t floor_key = (k_min == 0) ? 0 : k_min - 1;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!alive_[v]) continue;
+      uint32_t key = std::max(improved.lb3[v], floor_key);
+      if (assigned_[v]) key = std::max(key, result_.core[v]);
+      set_lb_[v] = 1;
+      if (queue_.Contains(v)) {
+        queue_.Move(v, key);
+      } else {
+        queue_.Insert(v, key);
+      }
+    }
+    CoreDecomp(k_min, k_max);
+  }
+
+  // -------------------------------------------------------------------
+  // Algorithm 3: the shared peeling loop. Processes buckets
+  // [max(0, k_min-1), k_max]; vertices popped at k < k_min are peeled but
+  // not assigned (their core index belongs to a later partition).
+  // -------------------------------------------------------------------
+  void CoreDecomp(uint32_t k_min, uint32_t k_max) {
+    const uint32_t k_start = (k_min == 0) ? 0 : k_min - 1;
+    for (uint32_t k = k_start; k <= k_max; ++k) {
+      if (k >= queue_.max_key() + 1) break;
+      while (!queue_.BucketEmpty(k)) {
+        const VertexId v = queue_.PopFront(k);
+        if (set_lb_[v]) {
+          // First pop: the bucket held only a lower bound. Compute the true
+          // h-degree w.r.t. the current alive set and re-queue.
+          hdeg_[v] = degrees_.Compute(g_, alive_, v, h_);
+          ++result_.stats.hdegree_computations;
+          queue_.Insert(v, std::max(hdeg_[v], k));
+          set_lb_[v] = 0;
+          continue;
+        }
+        if (k >= k_min && !assigned_[v]) {
+          result_.core[v] = k;
+          assigned_[v] = 1;
+        }
+        set_lb_[v] = 1;  // any stored h-degree becomes stale once v dies
+        degrees_.CollectNeighborhood(g_, alive_, v, h_, &nbhd_);
+        alive_[v] = 0;
+        batch_.clear();
+        for (const auto& [u, d] : nbhd_) {
+          if (!alive_[u] || !queue_.Contains(u) || set_lb_[u]) continue;
+          // Pinned at the current bucket: key cannot change again (see the
+          // matching skip in RunBz), so neither the BFS nor the decrement
+          // can have any observable effect.
+          if (queue_.KeyOf(u) == k) continue;
+          if (d < h_) {
+            batch_.push_back(u);
+          } else {
+            // d == h: removing v eliminates exactly v from u's
+            // h-neighborhood (any path through v now exceeds h), so a unit
+            // decrement is exact (Algorithm 3, line 17).
+            if (hdeg_[u] > 0) --hdeg_[u];
+            ++result_.stats.decrement_updates;
+            queue_.Move(u, std::max(hdeg_[u], k));
+          }
+        }
+        RecomputeAndMove(k);
+      }
+    }
+  }
+
+  /// Recomputes h-degrees for batch_ (in parallel if enabled) and re-buckets
+  /// each vertex at max(h-degree, k).
+  void RecomputeAndMove(uint32_t k) {
+    if (batch_.empty()) return;
+    batch_out_.resize(batch_.size());
+    degrees_.ComputeBatch(g_, alive_, h_, batch_, batch_out_.data());
+    result_.stats.hdegree_computations += batch_.size();
+    for (size_t i = 0; i < batch_.size(); ++i) {
+      const VertexId u = batch_[i];
+      hdeg_[u] = batch_out_[i];
+      queue_.Move(u, std::max(hdeg_[u], k));
+    }
+  }
+
+  /// LB1 or LB2 per options (h-LB/h-LB+UB precomputation), combined with
+  /// any caller-provided external lower bound.
+  std::vector<uint32_t> ComputeLowerBound() {
+    std::vector<uint32_t> lb;
+    switch (opts_.lower_bound) {
+      case LowerBoundMode::kNone:
+        lb.assign(n_, 0);
+        break;
+      case LowerBoundMode::kLb1:
+        lb = ComputeLB1(g_, h_, &degrees_);
+        break;
+      case LowerBoundMode::kLb2: {
+        std::vector<uint32_t> lb1 = ComputeLB1(g_, h_, &degrees_);
+        lb = ComputeLB2(g_, h_, lb1, &degrees_);
+        break;
+      }
+    }
+    if (opts_.extra_lower_bound != nullptr) {
+      const auto& extra = *opts_.extra_lower_bound;
+      HCORE_CHECK(extra.size() == n_);
+      for (VertexId v = 0; v < n_; ++v) lb[v] = std::max(lb[v], extra[v]);
+    }
+    return lb;
+  }
+
+  const Graph& g_;
+  const VertexId n_;
+  const int h_;
+  const KhCoreOptions& opts_;
+  HDegreeComputer degrees_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint32_t> hdeg_;
+  std::vector<uint8_t> set_lb_;
+  std::vector<uint8_t> assigned_;
+  BucketQueue queue_;
+  KhCoreResult result_;
+  // Scratch buffers.
+  std::vector<std::pair<VertexId, int>> nbhd_;
+  std::vector<VertexId> batch_;
+  std::vector<uint32_t> batch_out_;
+};
+
+KhCoreAlgorithm ResolveAlgorithm(const KhCoreOptions& opts) {
+  if (opts.algorithm != KhCoreAlgorithm::kAuto) return opts.algorithm;
+  // §6.2: h-LB tends to win for h = 2 and on sparse graphs; h-LB+UB wins
+  // for h >= 3 where inner-core vertices have huge h-neighborhoods.
+  return opts.h >= 3 ? KhCoreAlgorithm::kLbUb : KhCoreAlgorithm::kLb;
+}
+
+}  // namespace
+
+uint32_t KhCoreResult::NumDistinctCores() const {
+  std::unordered_set<uint32_t> values(core.begin(), core.end());
+  return static_cast<uint32_t>(values.size());
+}
+
+std::vector<VertexId> KhCoreResult::CoreVertices(uint32_t k) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < core.size(); ++v) {
+    if (core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<uint32_t> KhCoreResult::CoreSizes() const {
+  std::vector<uint32_t> sizes(degeneracy + 1, 0);
+  for (uint32_t c : core) ++sizes[std::min(c, degeneracy)];
+  // Suffix-sum: sizes[k] = |{v : core(v) >= k}|.
+  for (uint32_t k = degeneracy; k > 0; --k) sizes[k - 1] += sizes[k];
+  return sizes;
+}
+
+KhCoreResult KhCoreDecomposition(const Graph& g, const KhCoreOptions& options) {
+  HCORE_CHECK(options.h >= 1);
+  HCORE_CHECK(options.partition_size >= 0);
+  HCORE_CHECK(options.num_threads >= 0);
+  if (options.h == 1) {
+    // Classic core decomposition: the (k,1)-core is the k-core.
+    WallTimer timer;
+    ClassicCoreResult classic = ClassicCoreDecomposition(g);
+    KhCoreResult out;
+    out.core = std::move(classic.core);
+    out.degeneracy = classic.degeneracy;
+    out.h = 1;
+    out.stats.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+  Engine engine(g, options);
+  return engine.Run(ResolveAlgorithm(options));
+}
+
+std::vector<uint32_t> BruteForceKhCore(const Graph& g, int h) {
+  HCORE_CHECK(h >= 1);
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> core(n, 0);
+  std::vector<uint8_t> alive(n, 1);
+  BoundedBfs bfs(n);
+  uint32_t alive_count = n;
+  for (uint32_t k = 1; alive_count > 0; ++k) {
+    // Shrink to the (k,h)-core: repeatedly delete every vertex whose
+    // h-degree (recomputed from scratch) is < k.
+    bool changed = true;
+    while (changed && alive_count > 0) {
+      changed = false;
+      std::vector<VertexId> to_remove;
+      for (VertexId v = 0; v < n; ++v) {
+        if (alive[v] && bfs.HDegree(g, alive, v, h) < k) {
+          to_remove.push_back(v);
+        }
+      }
+      for (VertexId v : to_remove) {
+        alive[v] = 0;
+        --alive_count;
+        changed = true;
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v]) core[v] = k;
+    }
+  }
+  return core;
+}
+
+std::string ToString(KhCoreAlgorithm algorithm) {
+  switch (algorithm) {
+    case KhCoreAlgorithm::kAuto:
+      return "auto";
+    case KhCoreAlgorithm::kBz:
+      return "h-BZ";
+    case KhCoreAlgorithm::kLb:
+      return "h-LB";
+    case KhCoreAlgorithm::kLbUb:
+      return "h-LB+UB";
+  }
+  return "?";
+}
+
+}  // namespace hcore

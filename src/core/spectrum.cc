@@ -1,0 +1,90 @@
+#include "core/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcore {
+
+std::vector<uint32_t> SpectrumResult::VertexSpectrum(VertexId v) const {
+  std::vector<uint32_t> out;
+  out.reserve(core.size());
+  for (const auto& level : core) {
+    HCORE_CHECK(v < level.size());
+    out.push_back(level[v]);
+  }
+  return out;
+}
+
+std::vector<double> SpectrumResult::NormalizedVertexSpectrum(VertexId v) const {
+  std::vector<double> out;
+  out.reserve(core.size());
+  for (size_t i = 0; i < core.size(); ++i) {
+    HCORE_CHECK(v < core[i].size());
+    out.push_back(degeneracy[i] > 0
+                      ? static_cast<double>(core[i][v]) / degeneracy[i]
+                      : 0.0);
+  }
+  return out;
+}
+
+double SpectrumResult::LevelCorrelation(int h_a, int h_b) const {
+  HCORE_CHECK(h_a >= 1 && h_a <= max_h());
+  HCORE_CHECK(h_b >= 1 && h_b <= max_h());
+  const auto& a = core[h_a - 1];
+  const auto& b = core[h_b - 1];
+  const size_t n = a.size();
+  if (n == 0) return 0.0;
+  double ma = 0, mb = 0;
+  for (size_t v = 0; v < n; ++v) {
+    ma += a[v];
+    mb += b[v];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0, saa = 0, sbb = 0;
+  for (size_t v = 0; v < n; ++v) {
+    sab += (a[v] - ma) * (b[v] - mb);
+    saa += (a[v] - ma) * (a[v] - ma);
+    sbb += (b[v] - mb) * (b[v] - mb);
+  }
+  if (saa <= 0 || sbb <= 0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+SpectrumResult KhCoreSpectrum(const Graph& g, const SpectrumOptions& options) {
+  HCORE_CHECK(options.max_h >= 1);
+  SpectrumResult out;
+  out.core.reserve(options.max_h);
+  out.degeneracy.reserve(options.max_h);
+
+  const std::vector<uint32_t>* previous = nullptr;
+  for (int h = 1; h <= options.max_h; ++h) {
+    KhCoreOptions opts = options.base;
+    opts.h = h;
+    // core_h is monotone non-decreasing in h, so the previous level is a
+    // valid lower bound for this one.
+    opts.extra_lower_bound = previous;
+    KhCoreResult level = KhCoreDecomposition(g, opts);
+    out.stats.visited_vertices += level.stats.visited_vertices;
+    out.stats.hdegree_computations += level.stats.hdegree_computations;
+    out.stats.decrement_updates += level.stats.decrement_updates;
+    out.stats.partitions += level.stats.partitions;
+    out.stats.seconds += level.stats.seconds;
+    out.stats.bound_seconds += level.stats.bound_seconds;
+    out.degeneracy.push_back(level.degeneracy);
+    out.core.push_back(std::move(level.core));
+    previous = &out.core.back();
+  }
+  return out;
+}
+
+bool SpectrumIsMonotone(const SpectrumResult& spectrum) {
+  for (size_t i = 1; i < spectrum.core.size(); ++i) {
+    for (size_t v = 0; v < spectrum.core[i].size(); ++v) {
+      if (spectrum.core[i][v] < spectrum.core[i - 1][v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hcore

@@ -1,0 +1,71 @@
+// Core-index "spectrum" of a vertex (paper §7, future work).
+//
+// The paper's conclusions propose computing the (k,h)-core decompositions
+// for several values of h at once, treating the vector
+//   spectrum(v) = (core_1(v), core_2(v), ..., core_H(v))
+// as a structural fingerprint of v. This module implements that
+// computation, sharing work across h values where it is sound to do so:
+//
+//  * one pass computes all h-degrees up to H with a single truncated BFS
+//    per vertex (the depth-H BFS yields every prefix h-degree for free);
+//  * each level's decomposition is seeded with the previous level's core
+//    index as an extra lower bound, which is valid because core indexes are
+//    monotone in h: core_h(v) <= core_{h+1}(v) (the h-neighborhood only
+//    grows with h, in every induced subgraph).
+
+#ifndef HCORE_CORE_SPECTRUM_H_
+#define HCORE_CORE_SPECTRUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kh_core.h"
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Result of a multi-h decomposition sweep.
+struct SpectrumResult {
+  /// core[h-1][v]: the (k,h)-core index of v, for h in [1, max_h].
+  std::vector<std::vector<uint32_t>> core;
+  /// degeneracy[h-1]: Ĉ_h(G).
+  std::vector<uint32_t> degeneracy;
+  /// Aggregate decomposition cost over all levels.
+  KhCoreStats stats;
+
+  int max_h() const { return static_cast<int>(core.size()); }
+
+  /// The spectrum of one vertex: (core_1(v), ..., core_H(v)).
+  std::vector<uint32_t> VertexSpectrum(VertexId v) const;
+
+  /// Normalized spectrum: core_h(v) / Ĉ_h(G) per level (0 when the level
+  /// degeneracy is 0).
+  std::vector<double> NormalizedVertexSpectrum(VertexId v) const;
+
+  /// Pearson correlation between levels h_a and h_b (1-based), as used by
+  /// the paper's Figure 6 discussion. Returns 0 for degenerate inputs.
+  double LevelCorrelation(int h_a, int h_b) const;
+};
+
+/// Options for the sweep. `base` configures each per-level decomposition
+/// (its `h` field is ignored).
+struct SpectrumOptions {
+  int max_h = 4;
+  KhCoreOptions base;
+};
+
+/// Computes the (k,h)-core decomposition for every h in [1, max_h].
+///
+/// Levels h >= 2 run the h-LB machinery with the previous level's core
+/// index injected as an additional lower bound (sound by monotonicity in
+/// h), which saves a large fraction of the h-degree recomputations compared
+/// to independent runs.
+SpectrumResult KhCoreSpectrum(const Graph& g, const SpectrumOptions& options = {});
+
+/// Convenience: true iff core indexes are monotone non-decreasing in h for
+/// every vertex (a structural invariant; exposed for tests/diagnostics).
+bool SpectrumIsMonotone(const SpectrumResult& spectrum);
+
+}  // namespace hcore
+
+#endif  // HCORE_CORE_SPECTRUM_H_

@@ -1,0 +1,43 @@
+// Connected components and related helpers.
+
+#ifndef HCORE_GRAPH_CONNECTIVITY_H_
+#define HCORE_GRAPH_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Result of a connected-components computation.
+struct ConnectedComponents {
+  /// component[v] is the 0-based component id of v (ids ordered by the
+  /// smallest vertex in the component).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+
+  /// Size of component `c`.
+  std::vector<uint32_t> sizes;
+};
+
+/// Computes connected components by BFS.
+ConnectedComponents ComputeConnectedComponents(const Graph& g);
+
+/// Computes connected components of the subgraph induced by vertices with
+/// alive[v] != 0. Dead vertices get component id kInvalidComponent.
+inline constexpr uint32_t kInvalidComponent = 0xFFFFFFFFu;
+ConnectedComponents ComputeConnectedComponents(const Graph& g,
+                                               const std::vector<uint8_t>& alive);
+
+/// Vertices of the largest connected component.
+std::vector<VertexId> LargestComponent(const Graph& g);
+
+/// True if all of `vertices` lie in one component of the subgraph induced by
+/// alive[v] != 0 (every listed vertex must itself be alive).
+bool InSameComponent(const Graph& g, const std::vector<uint8_t>& alive,
+                     const std::vector<VertexId>& vertices);
+
+}  // namespace hcore
+
+#endif  // HCORE_GRAPH_CONNECTIVITY_H_

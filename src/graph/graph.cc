@@ -1,0 +1,100 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace hcore {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  HCORE_CHECK(!offsets_.empty());
+  HCORE_CHECK(offsets_.front() == 0);
+  HCORE_CHECK(offsets_.back() == neighbors_.size());
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  // Search the shorter adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double Graph::AverageDegree() const {
+  if (num_vertices() == 0) return 0.0;
+  return static_cast<double>(neighbors_.size()) / num_vertices();
+}
+
+std::pair<Graph, std::vector<VertexId>> Graph::InducedSubgraph(
+    std::vector<VertexId> vertices) const {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  std::vector<VertexId> map(num_vertices(), kInvalidVertex);
+  for (VertexId i = 0; i < vertices.size(); ++i) {
+    HCORE_CHECK(vertices[i] < num_vertices());
+    map[vertices[i]] = i;
+  }
+  GraphBuilder builder(static_cast<VertexId>(vertices.size()));
+  for (VertexId nv = 0; nv < vertices.size(); ++nv) {
+    VertexId old_v = vertices[nv];
+    for (VertexId old_u : neighbors(old_v)) {
+      VertexId nu = map[old_u];
+      if (nu != kInvalidVertex && old_u > old_v) builder.AddEdge(nv, nu);
+    }
+  }
+  return {builder.Build(), std::move(map)};
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(num_edges());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (VertexId u : neighbors(v)) {
+      if (v < u) out.emplace_back(v, u);
+    }
+  }
+  return out;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;  // No self-loops in a simple graph.
+  if (u > v) std::swap(u, v);
+  EnsureVertices(v + 1);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const VertexId n = num_vertices_;
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> neighbors(edges_.size() * 2);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Edges were sorted by (u, v); the scatter above leaves each adjacency
+  // list sorted for the `u` side but not necessarily for the `v` side.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(neighbors.begin() + offsets[v], neighbors.begin() + offsets[v + 1]);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace hcore

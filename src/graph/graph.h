@@ -1,0 +1,113 @@
+// Immutable undirected graph in CSR (compressed sparse row) form, plus a
+// mutable builder.
+//
+// All algorithms in hcore operate on this representation. Vertices are dense
+// ids in [0, num_vertices()); edges are stored twice (once per endpoint) with
+// each adjacency list sorted ascending. Self-loops and parallel edges are
+// removed by the builder, matching the paper's setting of simple, undirected,
+// unweighted graphs.
+
+#ifndef HCORE_GRAPH_GRAPH_H_
+#define HCORE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hcore {
+
+using VertexId = uint32_t;
+using EdgeIndex = uint64_t;
+
+constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+
+/// Immutable simple undirected graph (CSR).
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() : offsets_(1, 0) {}
+
+  /// Builds directly from CSR arrays. `offsets` has n+1 entries;
+  /// `neighbors[offsets[v] .. offsets[v+1])` lists v's neighbors.
+  Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors);
+
+  /// Number of vertices.
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges (each counted once).
+  uint64_t num_edges() const { return neighbors_.size() / 2; }
+
+  /// Degree of `v`.
+  uint32_t degree(VertexId v) const {
+    HCORE_DCHECK(v < num_vertices());
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of `v`.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    HCORE_DCHECK(v < num_vertices());
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// True if edge {u, v} exists (binary search, O(log deg)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  uint32_t MaxDegree() const;
+
+  /// Average degree 2m/n (0 for the empty graph).
+  double AverageDegree() const;
+
+  /// Returns the subgraph induced by `vertices` together with the mapping
+  /// old-id -> new-id (kInvalidVertex for dropped vertices). Vertex ids in
+  /// the result follow the order of `vertices` after dedup+sort.
+  std::pair<Graph, std::vector<VertexId>> InducedSubgraph(
+      std::vector<VertexId> vertices) const;
+
+  /// All edges as (u, v) pairs with u < v.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbor_array() const { return neighbors_; }
+
+ private:
+  std::vector<EdgeIndex> offsets_;
+  std::vector<VertexId> neighbors_;
+};
+
+/// Accumulates edges and produces a normalized (simple, sorted) Graph.
+class GraphBuilder {
+ public:
+  /// `num_vertices` may be 0; AddEdge grows the vertex count as needed.
+  explicit GraphBuilder(VertexId num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  /// Adds undirected edge {u, v}. Self-loops are dropped; duplicates are
+  /// deduplicated at Build() time.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Ensures the built graph has at least `n` vertices.
+  void EnsureVertices(VertexId n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_added_edges() const { return edges_.size(); }
+
+  /// Produces the normalized graph; the builder is left empty.
+  Graph Build();
+
+ private:
+  VertexId num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace hcore
+
+#endif  // HCORE_GRAPH_GRAPH_H_

@@ -1,0 +1,36 @@
+// Edge-list I/O in the SNAP text format.
+//
+// Input files contain one `u v` pair per line; lines starting with '#' or
+// '%' are comments. Vertex ids are arbitrary non-negative integers and are
+// relabeled to a dense range in first-appearance order (stable across runs).
+
+#ifndef HCORE_GRAPH_IO_H_
+#define HCORE_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace hcore::io {
+
+/// Parses an edge list from a string buffer (SNAP format).
+Result<Graph> ParseEdgeList(const std::string& text);
+
+/// Reads an edge list file (SNAP format).
+Result<Graph> ReadEdgeList(const std::string& path);
+
+/// Writes `g` as an edge list (one `u v` per line, u < v) with a comment
+/// header. Returns an error if the file cannot be opened.
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Writes `g` in Graphviz DOT format. If `vertex_label` is non-null (one
+/// entry per vertex, e.g. (k,h)-core indexes), each vertex is annotated
+/// with "id\nlabel" — the visualization use-case of core decompositions
+/// cited in the paper's §2.
+Status WriteDot(const Graph& g, const std::string& path,
+                const std::vector<uint32_t>* vertex_label = nullptr);
+
+}  // namespace hcore::io
+
+#endif  // HCORE_GRAPH_IO_H_

@@ -1,0 +1,21 @@
+#include "graph/power_graph.h"
+
+#include "traversal/bounded_bfs.h"
+
+namespace hcore {
+
+Graph PowerGraph(const Graph& g, int h) {
+  HCORE_CHECK(h >= 1);
+  const VertexId n = g.num_vertices();
+  GraphBuilder b(n);
+  BoundedBfs bfs(n);
+  std::vector<uint8_t> alive(n, 1);
+  for (VertexId v = 0; v < n; ++v) {
+    bfs.Run(g, alive, v, h, [&](VertexId u, int /*dist*/) {
+      if (v < u) b.AddEdge(v, u);
+    });
+  }
+  return b.Build();
+}
+
+}  // namespace hcore

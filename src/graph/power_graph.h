@@ -1,0 +1,23 @@
+// h-power graph materialization.
+//
+// G^h has the same vertices as G and an edge {u,v} whenever d_G(u,v) <= h.
+// The paper uses G^h in two ways: (a) Example 2 shows that classic core
+// decomposition of G^h is NOT the (k,h)-core decomposition of G, and (b) the
+// classic core index in G^h upper-bounds the (k,h)-core index (Alg. 5 computes
+// this bound without materializing G^h; this module materializes it for tests
+// and small-graph tooling).
+
+#ifndef HCORE_GRAPH_POWER_GRAPH_H_
+#define HCORE_GRAPH_POWER_GRAPH_H_
+
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Materializes the h-power graph of `g`. Memory is Θ(Σ_v deg^h(v)); only
+/// use on small or sparse graphs.
+Graph PowerGraph(const Graph& g, int h);
+
+}  // namespace hcore
+
+#endif  // HCORE_GRAPH_POWER_GRAPH_H_

@@ -1,0 +1,92 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcore {
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  if (g.num_vertices() == 0) return {};
+  std::vector<uint64_t> hist(g.MaxDegree() + 1, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  // Forward counting: for each edge (u, v) with u < v, intersect the
+  // higher-id portions of both adjacency lists.
+  uint64_t triangles = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto adj_u = g.neighbors(u);
+    for (VertexId v : adj_u) {
+      if (v <= u) continue;
+      auto adj_v = g.neighbors(v);
+      // Two-pointer intersection over ids greater than v.
+      auto iu = std::upper_bound(adj_u.begin(), adj_u.end(), v);
+      auto iv = std::upper_bound(adj_v.begin(), adj_v.end(), v);
+      while (iu != adj_u.end() && iv != adj_v.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++triangles;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+double AverageLocalClustering(const Graph& g) {
+  double total = 0.0;
+  uint64_t counted = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const uint32_t d = g.degree(v);
+    if (d < 2) continue;
+    uint64_t links = 0;
+    auto adj = g.neighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      for (size_t j = i + 1; j < adj.size(); ++j) {
+        if (g.HasEdge(adj[i], adj[j])) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) / (static_cast<double>(d) * (d - 1));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double DegreeAssortativity(const Graph& g) {
+  // Pearson correlation of endpoint degrees over edge endpoints (Newman).
+  const uint64_t m = g.num_edges();
+  if (m == 0) return 0.0;
+  double sum_prod = 0.0, sum_lin = 0.0, sum_sq = 0.0;
+  for (const auto& [u, v] : g.Edges()) {
+    const double du = g.degree(u);
+    const double dv = g.degree(v);
+    sum_prod += du * dv;
+    sum_lin += 0.5 * (du + dv);
+    sum_sq += 0.5 * (du * du + dv * dv);
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  const double num = inv_m * sum_prod - (inv_m * sum_lin) * (inv_m * sum_lin);
+  const double den = inv_m * sum_sq - (inv_m * sum_lin) * (inv_m * sum_lin);
+  if (std::abs(den) < 1e-12) return 0.0;
+  return num / den;
+}
+
+}  // namespace hcore

@@ -1,0 +1,36 @@
+// Structural statistics used by the dataset characterization (Table 1) and
+// by tests validating that the synthetic stand-ins belong to the intended
+// structural class.
+
+#ifndef HCORE_GRAPH_STATS_H_
+#define HCORE_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// histogram[d] = number of vertices with degree exactly d (size
+/// MaxDegree()+1; empty for the empty graph).
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+/// Number of triangles in the graph (each counted once).
+uint64_t CountTriangles(const Graph& g);
+
+/// Global clustering coefficient (transitivity): 3 * triangles / #wedges.
+/// 0 when the graph has no wedge.
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// Average of the local clustering coefficients over vertices of degree
+/// >= 2 (0 when there are none).
+double AverageLocalClustering(const Graph& g);
+
+/// Pearson degree assortativity over edges (in [-1, 1]; 0 for degenerate
+/// inputs). Social graphs tend positive, technological graphs negative.
+double DegreeAssortativity(const Graph& g);
+
+}  // namespace hcore
+
+#endif  // HCORE_GRAPH_STATS_H_

@@ -1,0 +1,6 @@
+#include "traversal/bounded_bfs.h"
+
+// BoundedBfs is header-only (template hot path); this translation unit
+// exists so the build presents one object file per module.
+
+namespace hcore {}  // namespace hcore

@@ -1,0 +1,53 @@
+// Unbounded shortest-path distance helpers: single-source BFS, pairwise
+// distance, diameter (exact and heuristic), induced-subgraph diameter check
+// (the h-club predicate).
+
+#ifndef HCORE_TRAVERSAL_DISTANCES_H_
+#define HCORE_TRAVERSAL_DISTANCES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace hcore {
+
+/// Distance value for unreachable vertices.
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+/// Single-source BFS distances (kUnreachable where disconnected).
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId src);
+
+/// BFS distances within the alive-masked subgraph. `src` must be alive.
+std::vector<uint32_t> BfsDistances(const Graph& g,
+                                   const std::vector<uint8_t>& alive,
+                                   VertexId src);
+
+/// Shortest-path distance between two vertices (kUnreachable if none).
+uint32_t Distance(const Graph& g, VertexId u, VertexId v);
+
+/// Exact diameter of the largest connected component via all-sources BFS.
+/// Cost O(n·m); intended for small/medium graphs.
+uint32_t ExactDiameter(const Graph& g);
+
+/// Lower-bound estimate of the diameter via `sweeps` double-sweep probes
+/// from random sources. Cheap and usually tight on real-world graphs.
+uint32_t EstimateDiameter(const Graph& g, int sweeps, Rng* rng);
+
+/// Eccentricity of `v` within its component (max finite BFS distance).
+uint32_t Eccentricity(const Graph& g, VertexId v);
+
+/// True if the subgraph induced by `vertices` has diameter <= h, i.e. is an
+/// h-club (paper Def. 5). Distances are measured inside the induced
+/// subgraph. The empty set and singletons are h-clubs.
+bool IsHClub(const Graph& g, const std::vector<VertexId>& vertices, int h);
+
+/// True if all pairs of `vertices` are within distance h in the FULL graph,
+/// i.e. the set is an h-clique (paper Def. 4).
+bool IsHClique(const Graph& g, const std::vector<VertexId>& vertices, int h);
+
+}  // namespace hcore
+
+#endif  // HCORE_TRAVERSAL_DISTANCES_H_

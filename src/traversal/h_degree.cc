@@ -1,0 +1,94 @@
+#include "traversal/h_degree.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace hcore {
+
+namespace {
+// Batches smaller than this run sequentially even when a pool exists:
+// dispatch overhead would dominate.
+constexpr size_t kMinParallelBatch = 32;
+}  // namespace
+
+HDegreeComputer::HDegreeComputer(VertexId n, int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  scratch_.reserve(num_threads_);
+  for (int t = 0; t < num_threads_; ++t) {
+    scratch_.push_back(std::make_unique<BoundedBfs>(n));
+  }
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
+
+uint32_t HDegreeComputer::Compute(const Graph& g,
+                                  const std::vector<uint8_t>& alive,
+                                  VertexId v, int h) {
+  return scratch_[0]->HDegree(g, alive, v, h);
+}
+
+void HDegreeComputer::ComputeBatch(const Graph& g,
+                                   const std::vector<uint8_t>& alive, int h,
+                                   std::span<const VertexId> batch,
+                                   uint32_t* out) {
+  if (num_threads_ <= 1 || batch.size() < kMinParallelBatch) {
+    BoundedBfs& bfs = *scratch_[0];
+    for (size_t i = 0; i < batch.size(); ++i) {
+      out[i] = bfs.HDegree(g, alive, batch[i], h);
+    }
+    return;
+  }
+  // Dynamic assignment (§4.6): workers pull chunks from a shared cursor so
+  // expensive traversals do not stall cheap ones.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  const size_t grain =
+      std::max<size_t>(1, batch.size() / (8 * static_cast<size_t>(num_threads_)));
+  for (int t = 0; t < num_threads_; ++t) {
+    BoundedBfs* bfs = scratch_[t].get();
+    pool_->Submit([&, bfs, cursor, grain] {
+      for (;;) {
+        size_t lo = cursor->fetch_add(grain);
+        if (lo >= batch.size()) return;
+        size_t hi = std::min(batch.size(), lo + grain);
+        for (size_t i = lo; i < hi; ++i) {
+          out[i] = bfs->HDegree(g, alive, batch[i], h);
+        }
+      }
+    });
+  }
+  pool_->Wait();
+}
+
+void HDegreeComputer::ComputeAllAlive(const Graph& g,
+                                      const std::vector<uint8_t>& alive, int h,
+                                      std::vector<uint32_t>* out) {
+  const VertexId n = g.num_vertices();
+  out->resize(n);
+  std::vector<VertexId> batch;
+  batch.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) batch.push_back(v);
+  }
+  std::vector<uint32_t> degs(batch.size());
+  ComputeBatch(g, alive, h, batch, degs.data());
+  for (size_t i = 0; i < batch.size(); ++i) (*out)[batch[i]] = degs[i];
+}
+
+uint32_t HDegreeComputer::CollectNeighborhood(
+    const Graph& g, const std::vector<uint8_t>& alive, VertexId v, int h,
+    std::vector<std::pair<VertexId, int>>* out) {
+  return scratch_[0]->CollectNeighborhood(g, alive, v, h, out);
+}
+
+uint64_t HDegreeComputer::total_visited() const {
+  uint64_t total = 0;
+  for (const auto& s : scratch_) total += s->total_visited();
+  return total;
+}
+
+void HDegreeComputer::ResetStats() {
+  for (auto& s : scratch_) s->ResetStats();
+}
+
+}  // namespace hcore

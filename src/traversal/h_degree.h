@@ -1,0 +1,64 @@
+// Sequential and multi-threaded h-degree computation (paper §4.6).
+//
+// The paper parallelizes two blocks: the initial h-degree pass over all
+// vertices, and the recomputation of h-degrees across the h-neighborhood of
+// each removed vertex, assigning vertices to threads dynamically.
+// HDegreeComputer owns one BoundedBfs scratch per worker plus a shared
+// thread pool, and exposes batch APIs that implement exactly that scheme.
+
+#ifndef HCORE_TRAVERSAL_H_DEGREE_H_
+#define HCORE_TRAVERSAL_H_DEGREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "traversal/bounded_bfs.h"
+#include "util/thread_pool.h"
+
+namespace hcore {
+
+/// Computes h-degrees over alive-masked subgraphs, optionally in parallel.
+class HDegreeComputer {
+ public:
+  /// `num_threads` <= 1 selects the sequential path (no pool is created).
+  HDegreeComputer(VertexId n, int num_threads);
+
+  int num_threads() const { return num_threads_; }
+
+  /// h-degree of one vertex (runs on the calling thread).
+  uint32_t Compute(const Graph& g, const std::vector<uint8_t>& alive,
+                   VertexId v, int h);
+
+  /// h-degrees for every vertex in `batch`; out[i] receives the h-degree of
+  /// batch[i]. Parallel when the computer has threads and the batch is
+  /// large enough to amortize dispatch.
+  void ComputeBatch(const Graph& g, const std::vector<uint8_t>& alive, int h,
+                    std::span<const VertexId> batch, uint32_t* out);
+
+  /// h-degrees for all alive vertices into out (size n; dead entries are
+  /// left untouched).
+  void ComputeAllAlive(const Graph& g, const std::vector<uint8_t>& alive,
+                       int h, std::vector<uint32_t>* out);
+
+  /// Enumerates the h-neighborhood of `v` with distances (sequential).
+  uint32_t CollectNeighborhood(const Graph& g,
+                               const std::vector<uint8_t>& alive, VertexId v,
+                               int h,
+                               std::vector<std::pair<VertexId, int>>* out);
+
+  /// Total vertices visited by all BFS runs (the paper's Table-3 "visits").
+  uint64_t total_visited() const;
+  void ResetStats();
+
+ private:
+  int num_threads_;
+  std::vector<std::unique_ptr<BoundedBfs>> scratch_;  // one per worker
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace hcore
+
+#endif  // HCORE_TRAVERSAL_H_DEGREE_H_

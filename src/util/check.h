@@ -1,0 +1,40 @@
+// Lightweight invariant-checking macros.
+//
+// HCORE_CHECK is always on (used for API contract violations that would
+// otherwise corrupt a decomposition); HCORE_DCHECK compiles away in release
+// builds and is used on hot paths.
+
+#ifndef HCORE_UTIL_CHECK_H_
+#define HCORE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hcore {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "HCORE_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace hcore
+
+#define HCORE_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::hcore::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define HCORE_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define HCORE_DCHECK(expr) HCORE_CHECK(expr)
+#endif
+
+#endif  // HCORE_UTIL_CHECK_H_

@@ -1,0 +1,84 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hcore {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  HCORE_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n,
+                                                    uint32_t count) {
+  HCORE_CHECK(count <= n);
+  if (count == 0) return {};
+  // For dense requests, shuffle a full permutation prefix; for sparse
+  // requests, rejection-sample into a set.
+  if (count * 3 >= n) {
+    std::vector<uint32_t> perm(n);
+    for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+    // Partial Fisher-Yates: only the first `count` entries are needed.
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t j = i + NextIndex(n - i);
+      std::swap(perm[i], perm[j]);
+    }
+    perm.resize(count);
+    return perm;
+  }
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    uint32_t x = NextIndex(n);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace hcore

@@ -1,0 +1,66 @@
+// Fixed-size thread pool used to parallelize h-degree computations (§4.6).
+//
+// The paper parallelizes (a) the initial h-degree computation and (b) the
+// recomputation of h-degrees across the h-neighborhood of a removed vertex,
+// by dynamically assigning vertices to threads. ParallelFor below implements
+// exactly that: a shared atomic cursor hands out chunks, so long BFS
+// traversals do not stall short ones.
+
+#ifndef HCORE_UTIL_THREAD_POOL_H_
+#define HCORE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hcore {
+
+/// A fixed pool of worker threads executing enqueued tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs `body(i)` for every i in [begin, end), distributing iterations
+  /// dynamically over the pool in chunks of `grain`. Blocks until done.
+  /// The body must be safe to run concurrently for distinct i.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                   const std::function<void(uint64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs `body(i)` for i in [begin, end) either sequentially (pool == nullptr
+/// or single-threaded) or via pool->ParallelFor.
+void MaybeParallelFor(ThreadPool* pool, uint64_t begin, uint64_t end,
+                      uint64_t grain, const std::function<void(uint64_t)>& body);
+
+}  // namespace hcore
+
+#endif  // HCORE_UTIL_THREAD_POOL_H_

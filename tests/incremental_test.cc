@@ -1,0 +1,96 @@
+// Tests for warm-start dynamic maintenance: every update must yield exactly
+// the decomposition a fresh run would produce.
+
+#include "core/incremental.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace hcore {
+namespace {
+
+using ::hcore::testing::MakeRandomGraph;
+using ::hcore::testing::RandomGraphSpec;
+
+KhCoreOptions OptsForH(int h) {
+  KhCoreOptions opts;
+  opts.h = h;
+  return opts;
+}
+
+std::vector<uint32_t> FreshCores(const Graph& g, int h) {
+  return KhCoreDecomposition(g, OptsForH(h)).core;
+}
+
+TEST(DynamicKhCore, InsertIntoPaperGraphPromotesCores) {
+  // Figure 1: adding the edge v1-v4 (ids 0-3) raises v1's 2-degree.
+  DynamicKhCore dyn(gen::PaperFigure1(), OptsForH(2));
+  EXPECT_EQ(dyn.result().core[0], 4u);
+  ASSERT_TRUE(dyn.InsertEdge(0, 3));
+  EXPECT_EQ(dyn.result().core, FreshCores(dyn.graph(), 2));
+  EXPECT_GE(dyn.result().core[0], 4u);
+}
+
+TEST(DynamicKhCore, DeleteFromPaperGraphDemotesCores) {
+  DynamicKhCore dyn(gen::PaperFigure1(), OptsForH(2));
+  ASSERT_TRUE(dyn.DeleteEdge(3, 4));  // v4-v5: breaks the cross pairing
+  EXPECT_EQ(dyn.result().core, FreshCores(dyn.graph(), 2));
+}
+
+TEST(DynamicKhCore, RejectsDegenerateUpdates) {
+  DynamicKhCore dyn(gen::Cycle(5), OptsForH(2));
+  EXPECT_FALSE(dyn.InsertEdge(2, 2));       // self-loop
+  EXPECT_FALSE(dyn.InsertEdge(0, 1));       // already present
+  EXPECT_FALSE(dyn.DeleteEdge(0, 2));       // absent
+  EXPECT_FALSE(dyn.DeleteEdge(0, 99));      // out of range
+  EXPECT_EQ(dyn.result().core, FreshCores(dyn.graph(), 2));
+}
+
+TEST(DynamicKhCore, InsertCanGrowTheVertexSet) {
+  DynamicKhCore dyn(gen::Path(4), OptsForH(2));
+  ASSERT_TRUE(dyn.InsertEdge(3, 6));  // vertices 4..6 appear
+  EXPECT_EQ(dyn.graph().num_vertices(), 7u);
+  EXPECT_EQ(dyn.result().core, FreshCores(dyn.graph(), 2));
+  EXPECT_EQ(dyn.result().core[5], 0u);  // isolated newcomer
+}
+
+class DynamicProperty
+    : public ::testing::TestWithParam<std::tuple<RandomGraphSpec, int>> {};
+
+TEST_P(DynamicProperty, RandomUpdateSequenceTracksFreshRuns) {
+  const auto& [spec, h] = GetParam();
+  Graph g = MakeRandomGraph(spec);
+  DynamicKhCore dyn(g, OptsForH(h));
+  Rng rng(spec.seed * 131 + h);
+  int applied = 0;
+  for (int step = 0; step < 12; ++step) {
+    const VertexId n = dyn.graph().num_vertices();
+    if (rng.NextBool(0.5)) {
+      applied += dyn.InsertEdge(rng.NextIndex(n), rng.NextIndex(n)) ? 1 : 0;
+    } else {
+      auto edges = dyn.graph().Edges();
+      if (edges.empty()) continue;
+      auto [u, v] = edges[rng.NextIndex(static_cast<uint32_t>(edges.size()))];
+      applied += dyn.DeleteEdge(u, v) ? 1 : 0;
+    }
+    ASSERT_EQ(dyn.result().core, FreshCores(dyn.graph(), h))
+        << spec.Name() << " step " << step;
+  }
+  EXPECT_GT(applied, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DynamicProperty,
+    ::testing::Combine(::testing::ValuesIn(hcore::testing::Corpus(36, 1)),
+                       ::testing::Values(2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<RandomGraphSpec, int>>& info) {
+      return std::get<0>(info.param).Name() + "_h" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace hcore

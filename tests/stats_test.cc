@@ -1,0 +1,72 @@
+// Tests for graph statistics (triangles, clustering, assortativity).
+
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace hcore {
+namespace {
+
+TEST(Stats, DegreeHistogramOfStar) {
+  std::vector<uint64_t> hist = DegreeHistogram(gen::Star(6));
+  ASSERT_EQ(hist.size(), 6u);
+  EXPECT_EQ(hist[1], 5u);  // leaves
+  EXPECT_EQ(hist[5], 1u);  // hub
+  EXPECT_TRUE(DegreeHistogram(Graph()).empty());
+}
+
+TEST(Stats, TriangleCounts) {
+  EXPECT_EQ(CountTriangles(gen::Complete(4)), 4u);
+  EXPECT_EQ(CountTriangles(gen::Complete(5)), 10u);
+  EXPECT_EQ(CountTriangles(gen::Cycle(5)), 0u);
+  EXPECT_EQ(CountTriangles(gen::Star(8)), 0u);
+  EXPECT_EQ(CountTriangles(gen::Cycle(3)), 1u);
+}
+
+TEST(Stats, GlobalClustering) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(gen::Complete(5)), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(gen::Star(6)), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(gen::Cycle(6)), 0.0);
+  // Triangle with a pendant: 1 triangle, wedges = 1+1+3 = 5 -> 3/5.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(b.Build()), 3.0 / 5.0);
+}
+
+TEST(Stats, AverageLocalClustering) {
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(gen::Complete(6)), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(gen::Star(6)), 0.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(gen::Path(2)), 0.0);  // no deg>=2
+}
+
+TEST(Stats, CliqueOverlayIsMoreClusteredThanGnp) {
+  Rng rng1(81), rng2(82);
+  Graph cliquey = gen::CliqueOverlay(400, 200, 3, 12, 2.0, &rng1);
+  Graph gnp = gen::ErdosRenyiGnp(400, cliquey.AverageDegree() / 399.0, &rng2);
+  EXPECT_GT(GlobalClusteringCoefficient(cliquey),
+            3 * GlobalClusteringCoefficient(gnp) + 0.01);
+}
+
+TEST(Stats, AssortativityRangeAndSign) {
+  Rng rng(83);
+  Graph ba = gen::BarabasiAlbert(800, 3, &rng);
+  double a = DegreeAssortativity(ba);
+  EXPECT_GE(a, -1.0);
+  EXPECT_LE(a, 1.0);
+  // Star: every edge joins degree-1 to degree-(n-1): degenerate, strongly
+  // disassortative; Newman's formula gives 0 denominator here only for
+  // regular graphs — the star yields a finite negative-or-zero value.
+  EXPECT_LE(DegreeAssortativity(gen::Star(20)), 0.0);
+  // Regular graphs have zero variance -> defined as 0.
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(gen::Cycle(10)), 0.0);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(Graph()), 0.0);
+}
+
+}  // namespace
+}  // namespace hcore

@@ -1,0 +1,186 @@
+// Tests for bounded BFS, h-degree computation (sequential vs parallel),
+// distance helpers, and the h-club / h-clique predicates.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/power_graph.h"
+#include "test_util.h"
+#include "traversal/bounded_bfs.h"
+#include "traversal/distances.h"
+#include "traversal/h_degree.h"
+
+namespace hcore {
+namespace {
+
+using ::hcore::testing::Corpus;
+using ::hcore::testing::MakeRandomGraph;
+using ::hcore::testing::RandomGraphSpec;
+
+TEST(BoundedBfs, PathDepthTruncation) {
+  Graph g = gen::Path(10);
+  BoundedBfs bfs(10);
+  std::vector<uint8_t> alive(10, 1);
+  // From vertex 0, depth h reaches exactly vertices 1..h.
+  for (int h = 1; h <= 5; ++h) {
+    std::vector<std::pair<VertexId, int>> nbhd;
+    bfs.CollectNeighborhood(g, alive, 0, h, &nbhd);
+    ASSERT_EQ(nbhd.size(), static_cast<size_t>(h));
+    for (int i = 0; i < h; ++i) {
+      EXPECT_EQ(nbhd[i].first, static_cast<VertexId>(i + 1));
+      EXPECT_EQ(nbhd[i].second, i + 1);
+    }
+  }
+}
+
+TEST(BoundedBfs, RespectsAliveMask) {
+  Graph g = gen::Path(5);  // 0-1-2-3-4
+  BoundedBfs bfs(5);
+  std::vector<uint8_t> alive(5, 1);
+  alive[2] = 0;  // break the path
+  EXPECT_EQ(bfs.HDegree(g, alive, 0, 4), 1u);  // only vertex 1 reachable
+  EXPECT_EQ(bfs.HDegree(g, alive, 4, 4), 1u);  // only vertex 3
+}
+
+TEST(BoundedBfs, SourceExpandedEvenWhenDead) {
+  // Peeling enumerates N(v,h) for a vertex being removed: the source's own
+  // alive flag must not matter.
+  Graph g = gen::Star(6);
+  BoundedBfs bfs(6);
+  std::vector<uint8_t> alive(6, 1);
+  alive[0] = 0;  // hub marked dead
+  EXPECT_EQ(bfs.HDegree(g, alive, 0, 1), 5u);
+}
+
+TEST(BoundedBfs, VisitCountAccumulates) {
+  Graph g = gen::Complete(5);
+  BoundedBfs bfs(5);
+  std::vector<uint8_t> alive(5, 1);
+  EXPECT_EQ(bfs.total_visited(), 0u);
+  bfs.HDegree(g, alive, 0, 1);
+  EXPECT_EQ(bfs.total_visited(), 4u);
+  bfs.HDegree(g, alive, 1, 1);
+  EXPECT_EQ(bfs.total_visited(), 8u);
+  bfs.ResetStats();
+  EXPECT_EQ(bfs.total_visited(), 0u);
+}
+
+TEST(BoundedBfs, HZeroVisitsNothing) {
+  Graph g = gen::Complete(4);
+  BoundedBfs bfs(4);
+  std::vector<uint8_t> alive(4, 1);
+  EXPECT_EQ(bfs.HDegree(g, alive, 0, 0), 0u);
+}
+
+class HDegreeProperty
+    : public ::testing::TestWithParam<std::tuple<RandomGraphSpec, int>> {};
+
+TEST_P(HDegreeProperty, MatchesPowerGraphDegree) {
+  const auto& [spec, h] = GetParam();
+  Graph g = MakeRandomGraph(spec);
+  Graph gh = PowerGraph(g, h);
+  BoundedBfs bfs(g.num_vertices());
+  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(bfs.HDegree(g, alive, v, h), gh.degree(v)) << "v=" << v;
+  }
+}
+
+TEST_P(HDegreeProperty, ParallelMatchesSequential) {
+  const auto& [spec, h] = GetParam();
+  Graph g = MakeRandomGraph(spec);
+  const VertexId n = g.num_vertices();
+  std::vector<uint8_t> alive(n, 1);
+  // Kill a third of the vertices to exercise masked traversal.
+  for (VertexId v = 0; v < n; v += 3) alive[v] = 0;
+  HDegreeComputer seq(n, 1);
+  HDegreeComputer par(n, 4);
+  std::vector<uint32_t> a(n, 0), b(n, 0);
+  seq.ComputeAllAlive(g, alive, h, &a);
+  par.ComputeAllAlive(g, alive, h, &b);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) EXPECT_EQ(a[v], b[v]) << "v=" << v;
+  }
+  EXPECT_EQ(seq.total_visited(), par.total_visited());
+}
+
+TEST_P(HDegreeProperty, MonotoneInH) {
+  const auto& [spec, h] = GetParam();
+  Graph g = MakeRandomGraph(spec);
+  BoundedBfs bfs(g.num_vertices());
+  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  for (VertexId v = 0; v < g.num_vertices(); v += 7) {
+    EXPECT_LE(bfs.HDegree(g, alive, v, h), bfs.HDegree(g, alive, v, h + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, HDegreeProperty,
+    ::testing::Combine(::testing::ValuesIn(Corpus(50, 1)),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<RandomGraphSpec, int>>& info) {
+      return std::get<0>(info.param).Name() + "_h" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Distances, PathDistances) {
+  Graph g = gen::Path(6);
+  std::vector<uint32_t> d = BfsDistances(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+  EXPECT_EQ(Distance(g, 1, 4), 3u);
+  EXPECT_EQ(Distance(g, 4, 4), 0u);
+}
+
+TEST(Distances, DisconnectedIsUnreachable) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  EXPECT_EQ(Distance(g, 0, 3), kUnreachable);
+  std::vector<uint32_t> d = BfsDistances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Distances, DiameterOfPathAndCycle) {
+  Rng rng(5);
+  EXPECT_EQ(ExactDiameter(gen::Path(10)), 9u);
+  EXPECT_EQ(ExactDiameter(gen::Cycle(10)), 5u);
+  EXPECT_EQ(ExactDiameter(gen::Complete(5)), 1u);
+  // The double-sweep estimate is exact on paths and never overestimates.
+  EXPECT_EQ(EstimateDiameter(gen::Path(10), 3, &rng), 9u);
+  EXPECT_LE(EstimateDiameter(gen::Cycle(10), 3, &rng), 5u);
+}
+
+TEST(Distances, EccentricityOfStarHub) {
+  Graph g = gen::Star(7);
+  EXPECT_EQ(Eccentricity(g, 0), 1u);
+  EXPECT_EQ(Eccentricity(g, 1), 2u);
+}
+
+TEST(HClubPredicate, StarIsTwoClubButNotOneClub) {
+  Graph g = gen::Star(5);
+  std::vector<VertexId> all{0, 1, 2, 3, 4};
+  EXPECT_TRUE(IsHClub(g, all, 2));
+  EXPECT_FALSE(IsHClub(g, all, 1));
+}
+
+TEST(HClubPredicate, InducedDistanceMattersForClubs) {
+  // Classic example: leaves of a star form a 2-clique (via the hub) but not
+  // a 2-club (the induced subgraph has no edges).
+  Graph g = gen::Star(5);
+  std::vector<VertexId> leaves{1, 2, 3, 4};
+  EXPECT_TRUE(IsHClique(g, leaves, 2));
+  EXPECT_FALSE(IsHClub(g, leaves, 2));
+}
+
+TEST(HClubPredicate, SingletonsAndEmptyAreAlwaysClubs) {
+  Graph g = gen::Path(3);
+  EXPECT_TRUE(IsHClub(g, {}, 1));
+  EXPECT_TRUE(IsHClub(g, {2}, 1));
+  EXPECT_TRUE(IsHClique(g, {}, 1));
+}
+
+}  // namespace
+}  // namespace hcore

@@ -1,0 +1,362 @@
+// hcore command-line tool.
+//
+//   hcore_cli decompose  --input=G.txt --h=2 [--algorithm=bz|lb|lbub]
+//                        [--threads=N] [--output=cores.txt]
+//   hcore_cli stats      --input=G.txt
+//   hcore_cli spectrum   --input=G.txt --max-h=4 [--output=spectrum.txt]
+//   hcore_cli hclub      --input=G.txt --h=2 [--solver=bb|it] [--no-core]
+//   hcore_cli hclique    --input=G.txt --h=2
+//   hcore_cli coloring   --input=G.txt --h=2 [--output=colors.txt]
+//   hcore_cli community  --input=G.txt --h=2 --query=1,5,9
+//   hcore_cli densest    --input=G.txt --h=2
+//   hcore_cli generate   --model=ba|gnp|ws|road|cliques --n=1000 [--seed=S]
+//                        --output=G.txt
+//
+// Graphs are SNAP-format edge lists ('#'-comments, one "u v" per line).
+// Vertex ids printed by the tool refer to the relabeled ids (dense,
+// first-appearance order).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/coloring.h"
+#include "apps/community.h"
+#include "core/hierarchy.h"
+#include "apps/densest.h"
+#include "apps/hclique.h"
+#include "apps/hclub.h"
+#include "core/kh_core.h"
+#include "core/spectrum.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "traversal/distances.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hcore;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+  int GetInt(const std::string& key, int def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::atoi(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg.substr(2)] = "1";
+    } else {
+      flags.values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+Result<Graph> LoadInput(const Flags& flags) {
+  std::string path = flags.Get("input");
+  if (path.empty()) return Status::InvalidArgument("--input=<file> required");
+  return io::ReadEdgeList(path);
+}
+
+KhCoreOptions CoreOptions(const Flags& flags) {
+  KhCoreOptions opts;
+  opts.h = flags.GetInt("h", 2);
+  opts.num_threads = flags.GetInt("threads", 1);
+  std::string alg = flags.Get("algorithm", "auto");
+  if (alg == "bz") opts.algorithm = KhCoreAlgorithm::kBz;
+  else if (alg == "lb") opts.algorithm = KhCoreAlgorithm::kLb;
+  else if (alg == "lbub") opts.algorithm = KhCoreAlgorithm::kLbUb;
+  return opts;
+}
+
+int CmdDecompose(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  KhCoreOptions opts = CoreOptions(flags);
+  KhCoreResult r = KhCoreDecomposition(g.value(), opts);
+  std::printf("n=%u m=%llu h=%d degeneracy=%u distinct_cores=%u\n",
+              g.value().num_vertices(),
+              static_cast<unsigned long long>(g.value().num_edges()), opts.h,
+              r.degeneracy, r.NumDistinctCores());
+  std::printf("time=%.3fs visits=%llu hdeg_computations=%llu\n",
+              r.stats.seconds,
+              static_cast<unsigned long long>(r.stats.visited_vertices),
+              static_cast<unsigned long long>(r.stats.hdegree_computations));
+  std::string out_path = flags.Get("output");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) return Fail("cannot write " + out_path);
+    out << "# vertex core_index (h=" << opts.h << ")\n";
+    for (VertexId v = 0; v < r.core.size(); ++v) {
+      out << v << ' ' << r.core[v] << '\n';
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdHierarchy(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  KhCoreOptions opts = CoreOptions(flags);
+  KhCoreResult r = KhCoreDecomposition(g.value(), opts);
+  CoreHierarchy tree = BuildCoreHierarchy(g.value(), r.core);
+  std::printf("core-component hierarchy (h=%d): %zu nodes, %zu roots\n",
+              opts.h, tree.nodes.size(), tree.roots.size());
+  // Print the forest, depth-first, sizes and levels only.
+  struct Frame {
+    uint32_t node;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = tree.roots.rbegin(); it != tree.roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  int printed = 0;
+  const int limit = flags.GetInt("limit", 60);
+  while (!stack.empty() && printed < limit) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    const CoreHierarchyNode& n = tree.nodes[node];
+    std::printf("%*sk=%u |component|=%u (+%zu new)\n", 2 * depth, "", n.level,
+                n.subtree_size, n.new_vertices.size());
+    ++printed;
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  if (!stack.empty()) std::printf("... (raise --limit to see more)\n");
+  std::string dot_path = flags.Get("dot");
+  if (!dot_path.empty()) {
+    Status s = io::WriteDot(g.value(), dot_path, &r.core);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("wrote %s (vertices annotated with core indexes)\n",
+                dot_path.c_str());
+  }
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  const Graph& graph = g.value();
+  Rng rng(1);
+  std::printf("vertices: %u\nedges: %llu\navg degree: %.2f\nmax degree: %u\n",
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.AverageDegree(), graph.MaxDegree());
+  std::printf("diameter (double-sweep estimate): %u\n",
+              EstimateDiameter(graph, 4, &rng));
+  return 0;
+}
+
+int CmdSpectrum(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  SpectrumOptions opts;
+  opts.max_h = flags.GetInt("max-h", 4);
+  opts.base.num_threads = flags.GetInt("threads", 1);
+  SpectrumResult r = KhCoreSpectrum(g.value(), opts);
+  std::printf("h:          ");
+  for (int h = 1; h <= opts.max_h; ++h) std::printf(" %8d", h);
+  std::printf("\ndegeneracy: ");
+  for (uint32_t d : r.degeneracy) std::printf(" %8u", d);
+  std::printf("\n");
+  for (int h = 2; h <= opts.max_h; ++h) {
+    std::printf("corr(core_1, core_%d) = %.3f\n", h, r.LevelCorrelation(1, h));
+  }
+  std::string out_path = flags.Get("output");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) return Fail("cannot write " + out_path);
+    out << "# vertex core_1 .. core_" << opts.max_h << "\n";
+    for (VertexId v = 0; v < g.value().num_vertices(); ++v) {
+      out << v;
+      for (const auto& level : r.core) out << ' ' << level[v];
+      out << '\n';
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdHClub(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  HClubOptions opts;
+  opts.h = flags.GetInt("h", 2);
+  opts.solver = flags.Get("solver", "bb") == "it" ? HClubSolver::kIterative
+                                                  : HClubSolver::kBranchAndBound;
+  opts.max_nodes = static_cast<uint64_t>(flags.GetInt("max-nodes", 0));
+  HClubResult r = flags.Has("no-core") ? MaxHClub(g.value(), opts)
+                                       : MaxHClubWithCorePrefilter(g.value(), opts);
+  std::printf("max %d-club size: %u%s  (%.3fs, %llu nodes)\nmembers:",
+              opts.h, r.size(), r.optimal ? "" : " (budget hit, lower bound)",
+              r.seconds, static_cast<unsigned long long>(r.nodes_explored));
+  for (VertexId v : r.members) std::printf(" %u", v);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdHClique(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  HCliqueOptions opts;
+  opts.h = flags.GetInt("h", 2);
+  HCliqueResult r = MaxHClique(g.value(), opts);
+  std::printf("max %d-clique size: %u  (%.3fs, %llu nodes)\nmembers:", opts.h,
+              r.size(), r.seconds,
+              static_cast<unsigned long long>(r.nodes_explored));
+  for (VertexId v : r.members) std::printf(" %u", v);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdColoring(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  const int h = flags.GetInt("h", 2);
+  ColoringResult r = DistanceHColoring(g.value(), h);
+  std::printf("distance-%d coloring: %u colors (guarantee <= %u)\n", h,
+              r.num_colors, r.bound);
+  std::string out_path = flags.Get("output");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) return Fail("cannot write " + out_path);
+    out << "# vertex color (h=" << h << ")\n";
+    for (VertexId v = 0; v < r.color.size(); ++v) {
+      out << v << ' ' << r.color[v] << '\n';
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdCommunity(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  std::string q = flags.Get("query");
+  if (q.empty()) return Fail("--query=v1,v2,... required");
+  std::vector<VertexId> query;
+  size_t pos = 0;
+  while (pos < q.size()) {
+    size_t comma = q.find(',', pos);
+    if (comma == std::string::npos) comma = q.size();
+    query.push_back(
+        static_cast<VertexId>(std::atoi(q.substr(pos, comma - pos).c_str())));
+    pos = comma + 1;
+  }
+  for (VertexId v : query) {
+    if (v >= g.value().num_vertices()) return Fail("query vertex out of range");
+  }
+  const int h = flags.GetInt("h", 2);
+  CommunityResult r = DistanceCocktailParty(g.value(), query, h);
+  if (!r.feasible) {
+    std::printf("infeasible: query vertices span multiple components\n");
+    return 0;
+  }
+  std::printf("community: |S|=%zu min_h_degree=%u core_level=%u\nmembers:",
+              r.vertices.size(), r.min_h_degree, r.core_level);
+  for (VertexId v : r.vertices) std::printf(" %u", v);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdDensest(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  const int h = flags.GetInt("h", 2);
+  DensestResult core = DensestByCoreDecomposition(g.value(), h);
+  DensestResult greedy = DensestByGreedyPeeling(g.value(), h);
+  std::printf("core-approx: f_%d=%.3f |S|=%zu\n", h, core.density,
+              core.vertices.size());
+  std::printf("greedy-peel: f_%d=%.3f |S|=%zu\n", h, greedy.density,
+              greedy.vertices.size());
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string model = flags.Get("model", "ba");
+  std::string out_path = flags.Get("output");
+  if (out_path.empty()) return Fail("--output=<file> required");
+  const VertexId n = static_cast<VertexId>(flags.GetInt("n", 1000));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  Graph g;
+  if (model == "ba") {
+    g = gen::BarabasiAlbert(n, static_cast<uint32_t>(flags.GetInt("attach", 3)),
+                            &rng);
+  } else if (model == "gnp") {
+    g = gen::ErdosRenyiGnp(n, std::atof(flags.Get("p", "0.01").c_str()), &rng);
+  } else if (model == "ws") {
+    g = gen::WattsStrogatz(n, static_cast<uint32_t>(flags.GetInt("k", 3)),
+                           std::atof(flags.Get("beta", "0.1").c_str()), &rng);
+  } else if (model == "road") {
+    VertexId side = static_cast<VertexId>(std::max(2.0, std::sqrt(double(n))));
+    g = gen::RoadLattice(side, side, 0.72, &rng);
+  } else if (model == "cliques") {
+    g = gen::CliqueOverlay(n, n / 2, 2, std::max<uint32_t>(8, n / 50), 2.0,
+                           &rng);
+  } else {
+    return Fail("unknown model: " + model);
+  }
+  Status s = io::WriteEdgeList(g, out_path);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("wrote %s: n=%u m=%llu\n", out_path.c_str(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: hcore_cli <command> [--flags]\n"
+               "commands: decompose hierarchy stats spectrum hclub hclique\n"
+               "          coloring community densest generate\n"
+               "see the header comment of tools/hcore_cli.cc for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags = ParseFlags(argc, argv);
+  if (cmd == "decompose") return CmdDecompose(flags);
+  if (cmd == "hierarchy") return CmdHierarchy(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "spectrum") return CmdSpectrum(flags);
+  if (cmd == "hclub") return CmdHClub(flags);
+  if (cmd == "hclique") return CmdHClique(flags);
+  if (cmd == "coloring") return CmdColoring(flags);
+  if (cmd == "community") return CmdCommunity(flags);
+  if (cmd == "densest") return CmdDensest(flags);
+  if (cmd == "generate") return CmdGenerate(flags);
+  Usage();
+  return 1;
+}
