@@ -1,8 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the primitives underlying the
 // decomposition: bounded BFS, bucket-queue operations, h-degree batches
 // (sequential vs parallel), classic core decomposition, and generators.
+//
+// Besides the usual console table, every run writes machine-readable JSON
+// (default BENCH_micro.json, override with --benchmark_out=...) so repeated
+// runs can accumulate a performance trajectory across commits.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/classic_core.h"
 #include "core/kh_core.h"
@@ -36,7 +44,7 @@ void BM_BoundedBfs(benchmark::State& state) {
   const Graph& g = SocialGraph();
   const int h = static_cast<int>(state.range(0));
   BoundedBfs bfs(g.num_vertices());
-  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  VertexMask alive(g.num_vertices(), true);
   Rng rng(3);
   uint64_t visited = 0;
   for (auto _ : state) {
@@ -65,7 +73,7 @@ void BM_HDegreeBatch(benchmark::State& state) {
   const Graph& g = SocialGraph();
   const int threads = static_cast<int>(state.range(0));
   HDegreeComputer degrees(g.num_vertices(), threads);
-  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  VertexMask alive(g.num_vertices(), true);
   std::vector<uint32_t> out;
   for (auto _ : state) {
     degrees.ComputeAllAlive(g, alive, 2, &out);
@@ -113,4 +121,28 @@ BENCHMARK(BM_GeneratorBarabasiAlbert)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to a JSON sidecar file unless the caller picked their own
+  // output; the console reporter stays on either way.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Match only --benchmark_out=... so e.g. --benchmark_out_format alone
+    // does not suppress the default JSON file.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       KhCoreResult truth = KhCoreDecomposition(d.graph, opts);
 
       HDegreeComputer degrees(n, bench::EffectiveThreads(args));
-      std::vector<uint8_t> alive(n, 1);
+      VertexMask alive(n, true);
       std::vector<uint32_t> hdeg;
       degrees.ComputeAllAlive(d.graph, alive, h, &hdeg);
       std::vector<uint32_t> lb1 = ComputeLB1(d.graph, h, &degrees);

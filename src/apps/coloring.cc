@@ -3,11 +3,25 @@
 #include <algorithm>
 
 #include "core/bounds.h"
+#include "engine/peeling_engine.h"
+#include "engine/vertex_mask.h"
 #include "traversal/bounded_bfs.h"
 #include "traversal/h_degree.h"
-#include "util/bucket_queue.h"
 
 namespace hcore {
+namespace {
+
+/// Smallest-h-degree-last ordering as an engine policy: record pops, give
+/// every surviving neighbor a full recomputation.
+struct HPeelOrderPolicy : PeelPolicyBase {
+  explicit HPeelOrderPolicy(std::vector<VertexId>* order) : order(order) {}
+
+  void OnPeeled(VertexId v, uint32_t) { order->push_back(v); }
+
+  std::vector<VertexId>* order;
+};
+
+}  // namespace
 
 std::vector<VertexId> HPeelOrder(const Graph& g, int h) {
   const VertexId n = g.num_vertices();
@@ -15,30 +29,12 @@ std::vector<VertexId> HPeelOrder(const Graph& g, int h) {
   order.reserve(n);
   if (n == 0) return order;
 
-  BoundedBfs bfs(n);
-  std::vector<uint8_t> alive(n, 1);
-  std::vector<uint32_t> hdeg(n);
-  BucketQueue queue(n, n);
-  for (VertexId v = 0; v < n; ++v) {
-    hdeg[v] = bfs.HDegree(g, alive, v, h);
-    queue.Insert(v, hdeg[v]);
-  }
-  std::vector<std::pair<VertexId, int>> nbhd;
-  for (uint32_t k = 0; k <= queue.max_key() && !queue.empty(); ++k) {
-    while (!queue.BucketEmpty(k)) {
-      VertexId v = queue.PopFront(k);
-      order.push_back(v);
-      bfs.CollectNeighborhood(g, alive, v, h, &nbhd);
-      alive[v] = 0;
-      for (const auto& [u, d] : nbhd) {
-        (void)d;
-        if (!alive[u] || !queue.Contains(u)) continue;
-        if (queue.KeyOf(u) == k) continue;  // pinned at the current bucket
-        hdeg[u] = bfs.HDegree(g, alive, u, h);
-        queue.Move(u, std::max(hdeg[u], k));
-      }
-    }
-  }
+  VertexMask alive(n, true);
+  HDegreeComputer degrees(n, /*num_threads=*/1);
+  PeelingEngine engine(g, h, &alive, &degrees, n);
+  engine.SeedAliveWithHDegrees();
+  HPeelOrderPolicy policy(&order);
+  engine.Peel(0, n, policy);
   return order;
 }
 
@@ -51,7 +47,7 @@ ColoringResult DistanceHColoring(const Graph& g, int h, ColoringOrder order) {
   std::vector<VertexId> peel;
   if (order == ColoringOrder::kUpperBoundPeel) {
     HDegreeComputer degrees(n, 1);
-    std::vector<uint8_t> all(n, 1);
+    VertexMask all(n, true);
     std::vector<uint32_t> hdeg;
     degrees.ComputeAllAlive(g, all, h, &hdeg);
     std::vector<uint32_t> ub =
@@ -72,7 +68,7 @@ ColoringResult DistanceHColoring(const Graph& g, int h, ColoringOrder order) {
   constexpr uint32_t kUncolored = 0xFFFFFFFFu;
   std::vector<uint32_t> color(n, kUncolored);
   BoundedBfs bfs(n);
-  std::vector<uint8_t> all_alive(n, 1);
+  VertexMask all_alive(n, true);
   std::vector<uint8_t> used;  // used[c] != 0: color c conflicts
   uint32_t num_colors = 0;
   // Color in reverse peel order; conflicts are colored vertices within
@@ -98,7 +94,7 @@ bool IsValidDistanceHColoring(const Graph& g, int h,
   const VertexId n = g.num_vertices();
   HCORE_CHECK(color.size() == n);
   BoundedBfs bfs(n);
-  std::vector<uint8_t> alive(n, 1);
+  VertexMask alive(n, true);
   for (VertexId v = 0; v < n; ++v) {
     bool ok = true;
     bfs.Run(g, alive, v, h, [&](VertexId u, int) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/vertex_mask.h"
 #include "graph/connectivity.h"
 #include "traversal/bounded_bfs.h"
 
@@ -25,10 +26,19 @@ CommunityResult DistanceCocktailParty(const Graph& g,
   for (VertexId q : query) k_hi = std::min(k_hi, cores.core[q]);
 
   // Scan k downward until the query lies in one component of G[C_k]. The
-  // first such k is optimal (Appendix B).
-  std::vector<uint8_t> alive(n, 0);
+  // first such k is optimal (Appendix B). The alive view only grows as k
+  // drops, so the mask is extended incrementally (each vertex is revived
+  // exactly once across the whole scan) instead of refilled per level.
+  std::vector<std::vector<VertexId>> by_level(k_hi + 1);
+  VertexMask alive(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    if (cores.core[v] >= k_hi) {
+      alive.Revive(v);
+    } else {
+      by_level[cores.core[v]].push_back(v);
+    }
+  }
   for (uint32_t k = k_hi;; --k) {
-    for (VertexId v = 0; v < n; ++v) alive[v] = (cores.core[v] >= k) ? 1 : 0;
     ConnectedComponents cc = ComputeConnectedComponents(g, alive);
     const uint32_t target = cc.component[query.front()];
     bool together = true;
@@ -36,21 +46,21 @@ CommunityResult DistanceCocktailParty(const Graph& g,
     if (together) {
       out.feasible = true;
       out.core_level = k;
-      for (VertexId v = 0; v < n; ++v) {
-        if (alive[v] && cc.component[v] == target) out.vertices.push_back(v);
-      }
+      alive.ForEachAlive([&](VertexId v) {
+        if (cc.component[v] == target) out.vertices.push_back(v);
+      });
       // Report the achieved objective on the returned component.
-      std::vector<uint8_t> mask(n, 0);
-      for (VertexId v : out.vertices) mask[v] = 1;
+      VertexMask member_mask(n, out.vertices);
       BoundedBfs bfs(n);
       uint32_t min_deg = static_cast<uint32_t>(out.vertices.size());
       for (VertexId v : out.vertices) {
-        min_deg = std::min(min_deg, bfs.HDegree(g, mask, v, h));
+        min_deg = std::min(min_deg, bfs.HDegree(g, member_mask, v, h));
       }
       out.min_h_degree = min_deg;
       return out;
     }
     if (k == 0) break;  // disconnected even in C_0 = V: infeasible
+    for (VertexId v : by_level[k - 1]) alive.Revive(v);
   }
   return out;
 }

@@ -2,15 +2,16 @@
 
 #include <algorithm>
 
+#include "engine/peeling_engine.h"
+#include "engine/vertex_mask.h"
 #include "traversal/bounded_bfs.h"
-#include "util/bucket_queue.h"
+#include "traversal/h_degree.h"
 
 namespace hcore {
 
 double AverageHDegree(const Graph& g, const std::vector<VertexId>& s, int h) {
   if (s.empty()) return 0.0;
-  std::vector<uint8_t> alive(g.num_vertices(), 0);
-  for (VertexId v : s) alive[v] = 1;
+  VertexMask alive(g.num_vertices(), s);
   BoundedBfs bfs(g.num_vertices());
   uint64_t total = 0;
   for (VertexId v : s) total += bfs.HDegree(g, alive, v, h);
@@ -41,67 +42,80 @@ DensestResult DensestByCoreDecomposition(const Graph& g, int h,
   return best;
 }
 
+namespace {
+
+/// Charikar-style greedy h-peeling as an engine policy: track the exact sum
+/// of h-degrees through every key change, remember the best prefix density.
+/// Pinned-bucket skipping must stay off — the degree sum needs every
+/// affected neighbor's key refreshed, even when its bucket cannot change.
+struct GreedyDensestPolicy : PeelPolicyBase {
+  static constexpr bool kSkipPinned = false;
+
+  GreedyDensestPolicy(PeelingEngine* engine, uint64_t degree_sum)
+      : engine(engine), degree_sum(degree_sum) {}
+
+  bool OnPop(VertexId v, uint32_t) {
+    removal_order.push_back(v);
+    degree_sum -= engine->keys()[v];
+    return true;
+  }
+
+  PeelAction OnNeighbor(VertexId, int dist, uint32_t) {
+    // dist == h: removing the popped vertex shrinks the neighbor's h-degree
+    // by exactly 1 (same exactness argument as Algorithm 3, line 17), so
+    // the decrement keeps the degree sum exact without a BFS.
+    return dist < engine->h() ? PeelAction::kRecompute : PeelAction::kDecrement;
+  }
+
+  void OnKeyUpdate(VertexId, uint32_t old_key, uint32_t new_key) {
+    degree_sum += new_key;
+    degree_sum -= old_key;
+  }
+
+  void OnPeeled(VertexId, uint32_t) {
+    const VertexId remaining = engine->alive().num_alive();
+    if (remaining == 0) return;
+    const double density =
+        static_cast<double>(degree_sum) / static_cast<double>(remaining);
+    if (density > best_density) {
+      best_density = density;
+      best_removed = removal_order.size();
+    }
+  }
+
+  PeelingEngine* engine;
+  uint64_t degree_sum;
+  std::vector<VertexId> removal_order;
+  double best_density = 0.0;
+  size_t best_removed = 0;
+};
+
+}  // namespace
+
 DensestResult DensestByGreedyPeeling(const Graph& g, int h) {
   const VertexId n = g.num_vertices();
   DensestResult best;
   if (n == 0) return best;
 
-  BoundedBfs bfs(n);
-  std::vector<uint8_t> alive(n, 1);
-  std::vector<uint32_t> hdeg(n);
-  BucketQueue queue(n, n);
+  VertexMask alive(n, true);
+  HDegreeComputer degrees(n, /*num_threads=*/1);
+  PeelingEngine engine(g, h, &alive, &degrees, n);
+  engine.SeedAliveWithHDegrees();
   uint64_t degree_sum = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    hdeg[v] = bfs.HDegree(g, alive, v, h);
-    degree_sum += hdeg[v];
-    queue.Insert(v, hdeg[v]);
-  }
+  for (VertexId v = 0; v < n; ++v) degree_sum += engine.keys()[v];
 
-  // Track the best average over all peel prefixes; reconstruct at the end.
-  std::vector<VertexId> removal_order;
-  removal_order.reserve(n);
-  double best_density = static_cast<double>(degree_sum) / n;
-  size_t best_removed = 0;
-
-  std::vector<std::pair<VertexId, int>> nbhd;
-  uint32_t remaining = n;
-  for (uint32_t k = 0; k <= queue.max_key() && !queue.empty(); ++k) {
-    while (!queue.BucketEmpty(k)) {
-      // Unlike core peeling we always take the globally-minimal h-degree,
-      // which is exactly bucket k or below after clamping; the clamp in
-      // Move() keeps minima at >= k so the scan order is correct.
-      VertexId v = queue.PopFront(k);
-      removal_order.push_back(v);
-      degree_sum -= hdeg[v];
-      bfs.CollectNeighborhood(g, alive, v, h, &nbhd);
-      alive[v] = 0;
-      --remaining;
-      for (const auto& [u, d] : nbhd) {
-        (void)d;
-        if (!alive[u] || !queue.Contains(u)) continue;
-        uint32_t fresh = bfs.HDegree(g, alive, u, h);
-        degree_sum -= hdeg[u];
-        degree_sum += fresh;
-        hdeg[u] = fresh;
-        queue.Move(u, std::max(fresh, k));
-      }
-      if (remaining > 0) {
-        double density =
-            static_cast<double>(degree_sum) / static_cast<double>(remaining);
-        if (density > best_density) {
-          best_density = density;
-          best_removed = removal_order.size();
-        }
-      }
-    }
-  }
+  GreedyDensestPolicy policy(&engine, degree_sum);
+  policy.best_density = static_cast<double>(degree_sum) / n;
+  engine.Peel(0, n, policy);
 
   std::vector<uint8_t> in_best(n, 1);
-  for (size_t i = 0; i < best_removed; ++i) in_best[removal_order[i]] = 0;
+  for (size_t i = 0; i < policy.best_removed; ++i) {
+    in_best[policy.removal_order[i]] = 0;
+  }
   for (VertexId v = 0; v < n; ++v) {
     if (in_best[v]) best.vertices.push_back(v);
   }
-  best.density = best_density;
+  best.density = policy.best_density;
   return best;
 }
 

@@ -5,7 +5,8 @@
 // optimization is impractical at scale; the paper proves that the best
 // (k,h)-core is a (sqrt(f_h(S*) + 1/4) - 1/2)-approximation (Theorem 4).
 // This module provides that core-picking approximation, a Charikar-style
-// greedy h-peeling baseline, and an exponential exact solver for tests.
+// greedy h-peeling baseline (a density-tracking policy over the shared
+// PeelingEngine), and an exponential exact solver for tests.
 
 #ifndef HCORE_APPS_DENSEST_H_
 #define HCORE_APPS_DENSEST_H_

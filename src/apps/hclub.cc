@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/vertex_mask.h"
 #include "graph/connectivity.h"
 #include "traversal/bounded_bfs.h"
 #include "util/timer.h"
@@ -11,11 +12,14 @@ namespace {
 
 /// Far-pair branch & bound for maximum h-club on one graph.
 ///
-/// A node of the search tree is a candidate set S. If diam(G[S]) <= h, S is
-/// an h-club; otherwise some pair u,w has d_{G[S]}(u,w) > h and no h-club
-/// can contain both, so we branch on S\{u} and S\{w}. The incumbent prunes
-/// every node with |S| <= |best|. Disconnected candidates are split into
-/// components (an h-club is connected for h < infinity).
+/// A node of the search tree is a candidate set S, held as a VertexMask. If
+/// diam(G[S]) <= h, S is an h-club; otherwise some pair u,w has
+/// d_{G[S]}(u,w) > h and no h-club can contain both, so we branch on S\{u}
+/// and S\{w}. Branch flips and the hopeless-vertex deletions are unwound
+/// with the mask's checkpoint/restore log instead of copying whole masks.
+/// The incumbent prunes every node with |S| <= |best|. Disconnected
+/// candidates are split into components (an h-club is connected for
+/// h < infinity).
 class ClubSearch {
  public:
   ClubSearch(const Graph& g, int h, uint64_t max_nodes, double time_limit)
@@ -26,16 +30,13 @@ class ClubSearch {
         bfs_(g.num_vertices()),
         far_count_(g.num_vertices(), 0) {}
 
-  /// Runs the search from candidate set `candidate` (1 = in S). Only sets
-  /// strictly larger than `floor_size` are recorded. Returns the best club
-  /// found (empty if none beats the floor).
-  std::vector<VertexId> Solve(std::vector<uint8_t> candidate,
-                              uint32_t floor_size) {
+  /// Runs the search from candidate set `candidate`. Only sets strictly
+  /// larger than `floor_size` are recorded. Returns the best club found
+  /// (empty if none beats the floor).
+  std::vector<VertexId> Solve(VertexMask candidate, uint32_t floor_size) {
     best_.clear();
     best_floor_ = floor_size;
-    uint32_t size = 0;
-    for (uint8_t a : candidate) size += a;
-    Recurse(&candidate, size);
+    Recurse(&candidate);
     return best_;
   }
 
@@ -47,14 +48,12 @@ class ClubSearch {
     return std::max(best_floor_, static_cast<uint32_t>(best_.size()));
   }
 
-  void RecordBest(const std::vector<uint8_t>& s) {
+  void RecordBest(const VertexMask& s) {
     best_.clear();
-    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-      if (s[v]) best_.push_back(v);
-    }
+    s.ForEachAlive([this](VertexId v) { best_.push_back(v); });
   }
 
-  void Recurse(std::vector<uint8_t>* s, uint32_t size) {
+  void Recurse(VertexMask* s) {
     if (budget_exhausted_) return;
     ++nodes_;
     if (max_nodes_ != 0 && nodes_ > max_nodes_) {
@@ -66,6 +65,7 @@ class ClubSearch {
       budget_exhausted_ = true;
       return;
     }
+    const uint32_t size = s->num_alive();
     if (size <= BestSize()) return;  // cannot beat the incumbent
 
     // Split disconnected candidates: an h-club lies inside one component.
@@ -78,11 +78,11 @@ class ClubSearch {
                 [&](uint32_t a, uint32_t b) { return cc.sizes[a] > cc.sizes[b]; });
       for (uint32_t c : comp_order) {
         if (cc.sizes[c] <= BestSize()) break;
-        std::vector<uint8_t> sub(g_.num_vertices(), 0);
-        for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-          if ((*s)[v] && cc.component[v] == c) sub[v] = 1;
-        }
-        Recurse(&sub, cc.sizes[c]);
+        VertexMask sub(g_.num_vertices(), false);
+        s->ForEachAlive([&](VertexId v) {
+          if (cc.component[v] == c) sub.Revive(v);
+        });
+        Recurse(&sub);
       }
       return;
     }
@@ -96,30 +96,31 @@ class ClubSearch {
     VertexId pivot = kInvalidVertex;
     uint32_t pivot_far = 0;
     uint32_t max_reach = 0;
-    std::vector<VertexId> hopeless;
+    uint32_t hopeless = 0;
+    const size_t checkpoint = s->Checkpoint();
     for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-      if (!(*s)[v]) continue;
+      if (!s->IsAlive(v)) continue;
       uint32_t reach = bfs_.HDegree(g_, *s, v, h_);
       if (reach + 1 <= BestSize()) {
         // v cannot belong to a club larger than the incumbent in ANY subset
         // of the current candidate (induced distances only grow), so drop
-        // it for this subtree. Restored before returning: the deletion
+        // it for this subtree. Rolled back before returning: the deletion
         // criterion was evaluated against this node's S, not an ancestor's.
-        (*s)[v] = 0;
-        hopeless.push_back(v);
+        s->Kill(v);
+        ++hopeless;
         continue;
       }
       max_reach = std::max(max_reach, reach);
-      far_count_[v] = size - 1 - reach;
+      far_count_[v] = size - 1 - hopeless - reach;
       far_total += far_count_[v];
       if (far_count_[v] > pivot_far) {
         pivot_far = far_count_[v];
         pivot = v;
       }
     }
-    if (!hopeless.empty()) {  // re-evaluate the shrunken candidate
-      Recurse(s, size - static_cast<uint32_t>(hopeless.size()));
-      for (VertexId v : hopeless) (*s)[v] = 1;
+    if (hopeless > 0) {  // re-evaluate the shrunken candidate
+      Recurse(s);
+      s->RestoreTo(checkpoint);
       return;
     }
     // No club inside S can exceed the best h-neighborhood: prune on it.
@@ -134,21 +135,22 @@ class ClubSearch {
     bfs_.Run(g_, *s, pivot, h_, [&](VertexId u, int) { reach_mask[u] = 1; });
     VertexId partner = kInvalidVertex;
     uint32_t partner_far = 0;
-    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
-      if (!(*s)[v] || v == pivot || reach_mask[v]) continue;
+    s->ForEachAlive([&](VertexId v) {
+      if (v == pivot || reach_mask[v]) return;
       if (partner == kInvalidVertex || far_count_[v] > partner_far) {
         partner = v;
         partner_far = far_count_[v];
       }
-    }
+    });
     HCORE_CHECK(partner != kInvalidVertex);
 
-    (*s)[pivot] = 0;
-    Recurse(s, size - 1);
-    (*s)[pivot] = 1;
-    (*s)[partner] = 0;
-    Recurse(s, size - 1);
-    (*s)[partner] = 1;
+    const size_t branch_point = s->Checkpoint();
+    s->Kill(pivot);
+    Recurse(s);
+    s->RestoreTo(branch_point);
+    s->Kill(partner);
+    Recurse(s);
+    s->RestoreTo(branch_point);
   }
 
   const Graph& g_;
@@ -174,7 +176,7 @@ HClubResult SolveIterative(const Graph& g, const HClubOptions& options,
   const VertexId n = g.num_vertices();
   HClubResult out;
   BoundedBfs bfs(n);
-  std::vector<uint8_t> all_alive(n, 1);
+  VertexMask all_alive(n, true);
   std::vector<std::pair<VertexId, uint32_t>> order;  // (v, h-degree)
   order.reserve(n);
   for (VertexId v = 0; v < n; ++v) {
@@ -188,10 +190,10 @@ HClubResult SolveIterative(const Graph& g, const HClubOptions& options,
   uint32_t best_size = floor_size;
   for (const auto& [v, hdeg] : order) {
     if (hdeg + 1 <= best_size) break;  // |N_h[v]| too small; so are the rest
-    std::vector<uint8_t> candidate(n, 0);
-    candidate[v] = 1;
+    VertexMask candidate(n, false);
+    candidate.Revive(v);
     bfs.Run(g, all_alive, v, options.h,
-            [&](VertexId u, int) { candidate[u] = 1; });
+            [&](VertexId u, int) { candidate.Revive(u); });
     std::vector<VertexId> found = search.Solve(std::move(candidate), best_size);
     if (found.size() > best_size) {
       best_size = static_cast<uint32_t>(found.size());
@@ -217,8 +219,7 @@ HClubResult SolveBranchAndBound(const Graph& g, const HClubOptions& options,
 
   ClubSearch search(g, options.h, options.max_nodes,
                     options.time_limit_seconds);
-  std::vector<VertexId> found =
-      search.Solve(std::vector<uint8_t>(n, 1), floor);
+  std::vector<VertexId> found = search.Solve(VertexMask(n, true), floor);
   if (found.size() > out.members.size()) {
     out.members = std::move(found);
   }
@@ -245,26 +246,23 @@ std::vector<VertexId> DropHeuristicHClub(const Graph& g, int h) {
   const VertexId n = g.num_vertices();
   if (n == 0) return {};
   // Restrict to the largest component first; an h-club is connected.
-  std::vector<uint8_t> s(n, 0);
-  for (VertexId v : LargestComponent(g)) s[v] = 1;
-  uint32_t size = 0;
-  for (uint8_t a : s) size += a;
+  VertexMask s(n, false);
+  for (VertexId v : LargestComponent(g)) s.Revive(v);
 
   BoundedBfs bfs(n);
   for (;;) {
     VertexId worst = kInvalidVertex;
     uint32_t worst_far = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      if (!s[v]) continue;
+    const uint32_t size = s.num_alive();
+    s.ForEachAlive([&](VertexId v) {
       uint32_t far = size - 1 - bfs.HDegree(g, s, v, h);
       if (far > worst_far) {
         worst_far = far;
         worst = v;
       }
-    }
+    });
     if (worst == kInvalidVertex) break;  // no far pairs left: h-club
-    s[worst] = 0;
-    --size;
+    s.Kill(worst);
     // Dropping a vertex can disconnect the set; keep the largest component.
     ConnectedComponents cc = ComputeConnectedComponents(g, s);
     if (cc.num_components > 1) {
@@ -272,17 +270,14 @@ std::vector<VertexId> DropHeuristicHClub(const Graph& g, int h) {
       for (uint32_t c = 1; c < cc.num_components; ++c) {
         if (cc.sizes[c] > cc.sizes[best_c]) best_c = c;
       }
-      size = cc.sizes[best_c];
-      for (VertexId v = 0; v < n; ++v) {
-        if (s[v] && cc.component[v] != best_c) s[v] = 0;
-      }
+      std::vector<VertexId> to_drop;
+      s.ForEachAlive([&](VertexId v) {
+        if (cc.component[v] != best_c) to_drop.push_back(v);
+      });
+      for (VertexId v : to_drop) s.Kill(v);
     }
   }
-  std::vector<VertexId> out;
-  for (VertexId v = 0; v < n; ++v) {
-    if (s[v]) out.push_back(v);
-  }
-  return out;
+  return s.AliveVertices();
 }
 
 HClubResult MaxHClub(const Graph& g, const HClubOptions& options) {

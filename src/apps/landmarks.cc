@@ -37,7 +37,7 @@ std::vector<VertexId> SelectLandmarks(const Graph& g, uint32_t count,
       return TopK(BetweennessCentrality(g), count);
     case LandmarkStrategy::kHDegree: {
       BoundedBfs bfs(n);
-      std::vector<uint8_t> alive(n, 1);
+      VertexMask alive(n, true);
       std::vector<double> score(n);
       for (VertexId v = 0; v < n; ++v) {
         score[v] = static_cast<double>(bfs.HDegree(g, alive, v, h));

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/bucket_queue.h"
+#include "engine/peeling_engine.h"
 
 namespace hcore {
 
@@ -11,7 +11,7 @@ std::vector<uint32_t> ComputeLB1(const Graph& g, int h,
   HCORE_CHECK(h >= 2);
   const VertexId n = g.num_vertices();
   const int radius = h / 2;  // ⌊h/2⌋ >= 1 for h >= 2.
-  std::vector<uint8_t> alive(n, 1);
+  VertexMask alive(n, true);
   std::vector<uint32_t> lb1(n, 0);
   degrees->ComputeAllAlive(g, alive, radius, &lb1);
   return lb1;
@@ -23,7 +23,7 @@ std::vector<uint32_t> ComputeLB2(const Graph& g, int h,
   HCORE_CHECK(h >= 2);
   const VertexId n = g.num_vertices();
   const int radius = (h + 1) / 2;  // ⌈h/2⌉
-  std::vector<uint8_t> alive(n, 1);
+  VertexMask alive(n, true);
   std::vector<uint32_t> lb2 = lb1;
   // For every v, take the maximum LB1 over its closed ⌈h/2⌉-neighborhood.
   // Each vertex's neighborhood is enumerated on the calling thread; the
@@ -32,11 +32,35 @@ std::vector<uint32_t> ComputeLB2(const Graph& g, int h,
   for (VertexId v = 0; v < n; ++v) {
     degrees->CollectNeighborhood(g, alive, v, radius, &nbhd);
     for (const auto& [u, d] : nbhd) {
+      (void)d;
       lb2[v] = std::max(lb2[v], lb1[u]);
     }
   }
   return lb2;
 }
+
+namespace {
+
+/// Algorithm 5 as an engine policy: unit decrements only (peeling the
+/// implicit power graph G^h), recording the peel level and removal order.
+struct PowerGraphUbPolicy : PeelPolicyBase {
+  PowerGraphUbPolicy(std::vector<uint32_t>* ub, std::vector<VertexId>* order)
+      : ub(ub), order(order) {}
+
+  PeelAction OnNeighbor(VertexId, int, uint32_t) {
+    return PeelAction::kDecrement;
+  }
+
+  void OnPeeled(VertexId v, uint32_t k) {
+    (*ub)[v] = k;  // k is the running maximum bucket = classic core index
+    if (order != nullptr) order->push_back(v);
+  }
+
+  std::vector<uint32_t>* ub;
+  std::vector<VertexId>* order;
+};
+
+}  // namespace
 
 std::vector<uint32_t> ComputePowerGraphUpperBound(
     const Graph& g, int h, const std::vector<uint32_t>& hdeg,
@@ -50,40 +74,17 @@ std::vector<uint32_t> ComputePowerGraphUpperBound(
   if (n == 0) return ub;
   uint32_t max_key = 0;
   for (uint32_t d : hdeg) max_key = std::max(max_key, d);
-  BucketQueue queue(n, max_key);
-  std::vector<uint32_t> deg = hdeg;
-  std::vector<uint8_t> alive(n, 1);
-  for (VertexId v = 0; v < n; ++v) queue.Insert(v, deg[v]);
 
-  std::vector<std::pair<VertexId, int>> nbhd;
-  uint32_t k = 0;
-  for (uint32_t bucket = 0; bucket <= max_key; ++bucket) {
-    while (!queue.BucketEmpty(bucket)) {
-      const VertexId v = queue.PopFront(bucket);
-      k = std::max(k, bucket);
-      ub[v] = k;
-      if (peel_order != nullptr) peel_order->push_back(v);
-      // One h-BFS per removal: enumerate the (still alive) neighborhood and
-      // decrement optimistic degrees by 1 — this is exactly peeling G^h
-      // without materializing it, hence an upper bound (§4.4).
-      degrees->CollectNeighborhood(g, alive, v, h, &nbhd);
-      alive[v] = 0;
-      for (const auto& [u, dist] : nbhd) {
-        (void)dist;
-        if (!queue.Contains(u)) continue;
-        if (deg[u] > bucket) {
-          --deg[u];
-          queue.Move(u, std::max(deg[u], bucket));
-        }
-      }
-    }
-  }
+  VertexMask alive(n, true);
+  PeelingEngine engine(g, h, &alive, degrees, max_key);
+  for (VertexId v = 0; v < n; ++v) engine.Seed(v, hdeg[v]);
+  PowerGraphUbPolicy policy(&ub, peel_order);
+  engine.Peel(0, max_key, policy);
   return ub;
 }
 
 ImproveLbResult ImproveLB(const Graph& g, int h, uint32_t k_min,
-                          std::vector<uint8_t>* alive,
-                          const std::vector<uint32_t>& lb2,
+                          VertexMask* alive, const std::vector<uint32_t>& lb2,
                           HDegreeComputer* degrees) {
   const VertexId n = g.num_vertices();
   ImproveLbResult out;
@@ -94,11 +95,10 @@ ImproveLbResult ImproveLB(const Graph& g, int h, uint32_t k_min,
   // Minimum h-degree over the candidate set, before cleaning (Property 3).
   uint32_t min_hdeg = 0;
   bool any = false;
-  for (VertexId v = 0; v < n; ++v) {
-    if (!(*alive)[v]) continue;
+  alive->ForEachAlive([&](VertexId v) {
     min_hdeg = any ? std::min(min_hdeg, out.hdeg[v]) : out.hdeg[v];
     any = true;
-  }
+  });
   if (!any) return out;
 
   // Cascade-remove vertices whose optimistic h-degree sinks below k_min.
@@ -106,23 +106,23 @@ ImproveLbResult ImproveLB(const Graph& g, int h, uint32_t k_min,
   // upper bound on the true h-degree), which is sound for exclusion.
   std::vector<VertexId> stack;
   std::vector<uint8_t> queued(n, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    if ((*alive)[v] && out.hdeg[v] < k_min) {
+  alive->ForEachAlive([&](VertexId v) {
+    if (out.hdeg[v] < k_min) {
       stack.push_back(v);
       queued[v] = 1;
     }
-  }
+  });
   std::vector<std::pair<VertexId, int>> nbhd;
   while (!stack.empty()) {
     VertexId v = stack.back();
     stack.pop_back();
-    if (!(*alive)[v]) continue;
+    if (!alive->IsAlive(v)) continue;
     degrees->CollectNeighborhood(g, *alive, v, h, &nbhd);
-    (*alive)[v] = 0;
+    alive->Kill(v);
     ++out.removed;
     for (const auto& [u, dist] : nbhd) {
       (void)dist;
-      if (!(*alive)[u]) continue;
+      if (!alive->IsAlive(u)) continue;
       if (out.hdeg[u] > 0) --out.hdeg[u];
       if (out.hdeg[u] < k_min && !queued[u]) {
         stack.push_back(u);
@@ -131,9 +131,8 @@ ImproveLbResult ImproveLB(const Graph& g, int h, uint32_t k_min,
     }
   }
 
-  for (VertexId v = 0; v < n; ++v) {
-    if ((*alive)[v]) out.lb3[v] = std::max(lb2[v], min_hdeg);
-  }
+  alive->ForEachAlive(
+      [&](VertexId v) { out.lb3[v] = std::max(lb2[v], min_hdeg); });
   return out;
 }
 

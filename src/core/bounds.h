@@ -8,7 +8,8 @@
 //            Property 3), together with optimistic cleaning of the set.
 //
 // All functions run their BFS workloads through an HDegreeComputer so the
-// caller controls threading and visit accounting.
+// caller controls threading and visit accounting; the UB peel itself is a
+// unit-decrement policy over the shared PeelingEngine.
 
 #ifndef HCORE_CORE_BOUNDS_H_
 #define HCORE_CORE_BOUNDS_H_
@@ -16,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/vertex_mask.h"
 #include "graph/graph.h"
 #include "traversal/h_degree.h"
 
@@ -62,13 +64,12 @@ struct ImproveLbResult {
   uint32_t removed = 0;
 };
 
-/// Algorithm 6: cleans the candidate set (vertices with alive[v] != 0) by
+/// Algorithm 6: cleans the candidate set (the alive vertices of `alive`) by
 /// cascade-removing every vertex whose optimistic h-degree drops below
 /// `k_min`, and computes LB3. `alive` is updated in place; removed vertices
-/// have their entries zeroed.
+/// are killed in the mask.
 ImproveLbResult ImproveLB(const Graph& g, int h, uint32_t k_min,
-                          std::vector<uint8_t>* alive,
-                          const std::vector<uint32_t>& lb2,
+                          VertexMask* alive, const std::vector<uint32_t>& lb2,
                           HDegreeComputer* degrees);
 
 }  // namespace hcore

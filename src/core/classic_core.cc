@@ -1,10 +1,34 @@
 #include "core/classic_core.h"
 
-#include <algorithm>
-
-#include "util/bucket_queue.h"
+#include "engine/peeling_engine.h"
+#include "engine/vertex_mask.h"
+#include "traversal/h_degree.h"
 
 namespace hcore {
+namespace {
+
+/// Batagelj–Zaveršnik peeling expressed as an engine policy: every surviving
+/// neighbor of a removed vertex takes an exact unit decrement, and the pop
+/// order doubles as the (reversed) degeneracy ordering.
+struct ClassicPolicy : PeelPolicyBase {
+  explicit ClassicPolicy(ClassicCoreResult* out) : out(out) {}
+
+  PeelAction OnNeighbor(VertexId, int, uint32_t) {
+    return PeelAction::kDecrement;
+  }
+
+  void OnPeeled(VertexId v, uint32_t k) {
+    // Buckets are visited in ascending order, so k is the running maximum
+    // peel level and equals the core index of v.
+    out->core[v] = k;
+    out->peel_order.push_back(v);
+    out->degeneracy = k;
+  }
+
+  ClassicCoreResult* out;
+};
+
+}  // namespace
 
 ClassicCoreResult ClassicCoreDecomposition(const Graph& g) {
   const VertexId n = g.num_vertices();
@@ -13,31 +37,13 @@ ClassicCoreResult ClassicCoreDecomposition(const Graph& g) {
   out.peel_order.reserve(n);
   if (n == 0) return out;
 
-  const uint32_t max_deg = g.MaxDegree();
-  BucketQueue queue(n, max_deg);
-  std::vector<uint32_t> deg(n);
-  for (VertexId v = 0; v < n; ++v) {
-    deg[v] = g.degree(v);
-    queue.Insert(v, deg[v]);
-  }
+  VertexMask alive(n, true);
+  HDegreeComputer degrees(n, /*num_threads=*/1);
+  PeelingEngine engine(g, /*h=*/1, &alive, &degrees, g.MaxDegree());
+  for (VertexId v = 0; v < n; ++v) engine.Seed(v, g.degree(v));
 
-  uint32_t k = 0;
-  for (uint32_t bucket = 0; bucket <= max_deg; ++bucket) {
-    while (!queue.BucketEmpty(bucket)) {
-      const VertexId v = queue.PopFront(bucket);
-      k = std::max(k, bucket);
-      out.core[v] = k;
-      out.peel_order.push_back(v);
-      for (VertexId u : g.neighbors(v)) {
-        if (!queue.Contains(u)) continue;  // already peeled
-        if (deg[u] > bucket) {
-          --deg[u];
-          queue.Move(u, std::max(deg[u], bucket));
-        }
-      }
-    }
-  }
-  out.degeneracy = k;
+  ClassicPolicy policy(&out);
+  engine.Peel(0, g.MaxDegree(), policy);
   return out;
 }
 

@@ -1,6 +1,7 @@
-// Classic (h = 1) core decomposition: the linear-time Batagelj–Zaveršnik
-// peeling algorithm [11]. Used as the h = 1 fast path, as the engine behind
-// the power-graph upper bound (Alg. 5 semantics), and as a baseline in the
+// Classic (h = 1) core decomposition: Batagelj–Zaveršnik peeling [11],
+// expressed as a unit-decrement policy over the shared PeelingEngine
+// (engine/peeling_engine.h). Used as the h = 1 fast path, as the semantic
+// model for the power-graph upper bound (Alg. 5), and as a baseline in the
 // characterization experiments.
 
 #ifndef HCORE_CORE_CLASSIC_CORE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "engine/vertex_mask.h"
 #include "graph/connectivity.h"
 #include "util/check.h"
 
@@ -191,13 +192,13 @@ std::vector<std::vector<VertexId>> ConnectedCoreComponents(
     const Graph& g, const std::vector<uint32_t>& core, uint32_t k) {
   const VertexId n = g.num_vertices();
   HCORE_CHECK(core.size() == n);
-  std::vector<uint8_t> alive(n, 0);
-  for (VertexId v = 0; v < n; ++v) alive[v] = core[v] >= k ? 1 : 0;
+  VertexMask alive(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    if (core[v] >= k) alive.Revive(v);
+  }
   ConnectedComponents cc = ComputeConnectedComponents(g, alive);
   std::vector<std::vector<VertexId>> out(cc.num_components);
-  for (VertexId v = 0; v < n; ++v) {
-    if (alive[v]) out[cc.component[v]].push_back(v);
-  }
+  alive.ForEachAlive([&](VertexId v) { out[cc.component[v]].push_back(v); });
   return out;
 }
 

@@ -1,0 +1,6 @@
+#include "engine/peeling_engine.h"
+
+// PeelingEngine is header-only (template hot path); this translation unit
+// exists so the build presents one object file per module.
+
+namespace hcore {}  // namespace hcore

@@ -1,0 +1,6 @@
+#include "engine/vertex_mask.h"
+
+// VertexMask is header-only (inline hot path); this translation unit exists
+// so the build presents one object file per module.
+
+namespace hcore {}  // namespace hcore

@@ -5,14 +5,14 @@
 namespace hcore {
 namespace {
 
-ConnectedComponents ComponentsImpl(const Graph& g, const uint8_t* alive) {
+ConnectedComponents ComponentsImpl(const Graph& g, const VertexMask* alive) {
   const VertexId n = g.num_vertices();
   ConnectedComponents out;
   out.component.assign(n, kInvalidComponent);
   std::vector<VertexId> queue;
   for (VertexId s = 0; s < n; ++s) {
     if (out.component[s] != kInvalidComponent) continue;
-    if (alive != nullptr && !alive[s]) continue;
+    if (alive != nullptr && !alive->IsAlive(s)) continue;
     const uint32_t c = out.num_components++;
     out.sizes.push_back(0);
     queue.clear();
@@ -23,7 +23,7 @@ ConnectedComponents ComponentsImpl(const Graph& g, const uint8_t* alive) {
       ++out.sizes[c];
       for (VertexId u : g.neighbors(v)) {
         if (out.component[u] != kInvalidComponent) continue;
-        if (alive != nullptr && !alive[u]) continue;
+        if (alive != nullptr && !alive->IsAlive(u)) continue;
         out.component[u] = c;
         queue.push_back(u);
       }
@@ -38,10 +38,10 @@ ConnectedComponents ComputeConnectedComponents(const Graph& g) {
   return ComponentsImpl(g, nullptr);
 }
 
-ConnectedComponents ComputeConnectedComponents(
-    const Graph& g, const std::vector<uint8_t>& alive) {
+ConnectedComponents ComputeConnectedComponents(const Graph& g,
+                                               const VertexMask& alive) {
   HCORE_CHECK(alive.size() == g.num_vertices());
-  return ComponentsImpl(g, alive.data());
+  return ComponentsImpl(g, &alive);
 }
 
 std::vector<VertexId> LargestComponent(const Graph& g) {
@@ -59,7 +59,7 @@ std::vector<VertexId> LargestComponent(const Graph& g) {
   return out;
 }
 
-bool InSameComponent(const Graph& g, const std::vector<uint8_t>& alive,
+bool InSameComponent(const Graph& g, const VertexMask& alive,
                      const std::vector<VertexId>& vertices) {
   if (vertices.empty()) return true;
   ConnectedComponents cc = ComputeConnectedComponents(g, alive);

@@ -1,4 +1,5 @@
-// Connected components and related helpers.
+// Connected components and related helpers, over the full graph or over an
+// alive-masked subgraph view (engine/vertex_mask.h).
 
 #ifndef HCORE_GRAPH_CONNECTIVITY_H_
 #define HCORE_GRAPH_CONNECTIVITY_H_
@@ -6,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/vertex_mask.h"
 #include "graph/graph.h"
 
 namespace hcore {
@@ -24,18 +26,18 @@ struct ConnectedComponents {
 /// Computes connected components by BFS.
 ConnectedComponents ComputeConnectedComponents(const Graph& g);
 
-/// Computes connected components of the subgraph induced by vertices with
-/// alive[v] != 0. Dead vertices get component id kInvalidComponent.
+/// Computes connected components of the subgraph induced by the alive
+/// vertices. Dead vertices get component id kInvalidComponent.
 inline constexpr uint32_t kInvalidComponent = 0xFFFFFFFFu;
 ConnectedComponents ComputeConnectedComponents(const Graph& g,
-                                               const std::vector<uint8_t>& alive);
+                                               const VertexMask& alive);
 
 /// Vertices of the largest connected component.
 std::vector<VertexId> LargestComponent(const Graph& g);
 
 /// True if all of `vertices` lie in one component of the subgraph induced by
-/// alive[v] != 0 (every listed vertex must itself be alive).
-bool InSameComponent(const Graph& g, const std::vector<uint8_t>& alive,
+/// the alive vertices (every listed vertex must itself be alive).
+bool InSameComponent(const Graph& g, const VertexMask& alive,
                      const std::vector<VertexId>& vertices);
 
 }  // namespace hcore

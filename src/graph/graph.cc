@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/ordering.h"
+
 namespace hcore {
 
 Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors)
@@ -49,6 +51,26 @@ std::pair<Graph, std::vector<VertexId>> Graph::InducedSubgraph(
     }
   }
   return {builder.Build(), std::move(map)};
+}
+
+Graph Graph::Relabeled(const std::vector<VertexId>& new_to_old) const {
+  const VertexId n = num_vertices();
+  HCORE_CHECK(new_to_old.size() == n);
+  // Inversion also validates that new_to_old is a bijection.
+  std::vector<VertexId> old_to_new = InvertPermutation(new_to_old);
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId nv = 0; nv < n; ++nv) {
+    offsets[nv + 1] = offsets[nv] + degree(new_to_old[nv]);
+  }
+  std::vector<VertexId> adj(neighbors_.size());
+  for (VertexId nv = 0; nv < n; ++nv) {
+    EdgeIndex cursor = offsets[nv];
+    for (VertexId old_u : neighbors(new_to_old[nv])) {
+      adj[cursor++] = old_to_new[old_u];
+    }
+    std::sort(adj.begin() + offsets[nv], adj.begin() + offsets[nv + 1]);
+  }
+  return Graph(std::move(offsets), std::move(adj));
 }
 
 std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {

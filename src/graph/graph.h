@@ -70,6 +70,12 @@ class Graph {
   std::pair<Graph, std::vector<VertexId>> InducedSubgraph(
       std::vector<VertexId> vertices) const;
 
+  /// Returns an isomorphic copy with vertices renamed by the permutation
+  /// `new_to_old` (new vertex i is old vertex new_to_old[i]). Used by the
+  /// cache-locality pass: peel a relabeled copy, map indexes back via the
+  /// same permutation. O(n + m), adjacency lists stay sorted.
+  Graph Relabeled(const std::vector<VertexId>& new_to_old) const;
+
   /// All edges as (u, v) pairs with u < v.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
 

@@ -1,0 +1,54 @@
+#include "graph/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace hcore {
+
+std::vector<VertexId> DegreeDescendingOrder(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return order;
+}
+
+std::vector<VertexId> BfsOrder(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<uint8_t> seen(n, 0);
+  // Component seeds, best-degree first, so the largest structures get the
+  // lowest (hottest) id range.
+  std::vector<VertexId> seeds = DegreeDescendingOrder(g);
+  for (VertexId s : seeds) {
+    if (seen[s]) continue;
+    seen[s] = 1;
+    const size_t head_start = order.size();
+    order.push_back(s);
+    for (size_t head = head_start; head < order.size(); ++head) {
+      for (VertexId u : g.neighbors(order[head])) {
+        if (seen[u]) continue;
+        seen[u] = 1;
+        order.push_back(u);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<VertexId> InvertPermutation(std::span<const VertexId> perm) {
+  std::vector<VertexId> inverse(perm.size(), kInvalidVertex);
+  for (VertexId i = 0; i < perm.size(); ++i) {
+    HCORE_CHECK(perm[i] < perm.size());
+    HCORE_CHECK(inverse[perm[i]] == kInvalidVertex);  // must be a bijection
+    inverse[perm[i]] = i;
+  }
+  return inverse;
+}
+
+}  // namespace hcore

@@ -1,0 +1,37 @@
+// Vertex orderings for cache-locality relabeling.
+//
+// Peeling spends most of its time in h-bounded BFS over the CSR arrays; how
+// well that walk uses the cache depends almost entirely on how vertex ids
+// map to memory. These helpers produce permutations (new-id -> old-id) that
+// KhCoreDecomposition applies via Graph::Relabeled() before peeling:
+//
+//   * DegreeDescendingOrder — hubs first. The dense inner cores, which the
+//     peel visits over and over, become a contiguous id prefix.
+//   * BfsOrder — breadth-first discovery order from the highest-degree
+//     vertex of each component. Neighborhoods become index-local, so a BFS
+//     frontier touches few cache lines.
+
+#ifndef HCORE_GRAPH_ORDERING_H_
+#define HCORE_GRAPH_ORDERING_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Permutation (new-id -> old-id) sorting vertices by descending degree;
+/// ties broken by ascending old id (deterministic).
+std::vector<VertexId> DegreeDescendingOrder(const Graph& g);
+
+/// Permutation (new-id -> old-id) in BFS discovery order, seeded from the
+/// highest-degree vertex of each connected component (deterministic).
+std::vector<VertexId> BfsOrder(const Graph& g);
+
+/// Inverse of a permutation: out[perm[i]] = i.
+std::vector<VertexId> InvertPermutation(std::span<const VertexId> perm);
+
+}  // namespace hcore
+
+#endif  // HCORE_GRAPH_ORDERING_H_

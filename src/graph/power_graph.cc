@@ -9,7 +9,7 @@ Graph PowerGraph(const Graph& g, int h) {
   const VertexId n = g.num_vertices();
   GraphBuilder b(n);
   BoundedBfs bfs(n);
-  std::vector<uint8_t> alive(n, 1);
+  VertexMask alive(n, true);
   for (VertexId v = 0; v < n; ++v) {
     bfs.Run(g, alive, v, h, [&](VertexId u, int /*dist*/) {
       if (v < u) b.AddEdge(v, u);

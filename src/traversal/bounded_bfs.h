@@ -2,9 +2,10 @@
 //
 // This is the inner loop of every (k,h)-core algorithm: computing the
 // h-degree of a vertex inside the currently-alive induced subgraph means one
-// BFS truncated at depth h that ignores dead vertices. The scratch state
-// (visited marks, distances, queue) is reused across calls via epoch
-// stamping, so a Run() does no O(n) clearing.
+// BFS truncated at depth h that ignores dead vertices. The alive set is a
+// VertexMask (see engine/vertex_mask.h), the shared subgraph-view type. The
+// scratch state (visited marks, distances, queue) is reused across calls via
+// epoch stamping, so a Run() does no O(n) clearing.
 //
 // The instance also accumulates the paper's Table-3 cost metric: the total
 // number of (possibly repeated) vertices visited across all traversals
@@ -17,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/vertex_mask.h"
 #include "graph/graph.h"
 #include "util/check.h"
 
@@ -36,14 +38,14 @@ class BoundedBfs {
     }
   }
 
-  /// BFS from `src` through vertices with alive[u] != 0, truncated at depth
-  /// `h`. Calls `visit(u, dist)` for every reached vertex u != src (1 <=
-  /// dist <= h) in BFS order. `src` itself is expanded regardless of its
-  /// alive flag (peeling enumerates the neighborhood of a vertex that is
-  /// about to be removed). Returns the number of vertices visited.
+  /// BFS from `src` through alive vertices, truncated at depth `h`. Calls
+  /// `visit(u, dist)` for every reached vertex u != src (1 <= dist <= h) in
+  /// BFS order. `src` itself is expanded regardless of its alive flag
+  /// (peeling enumerates the neighborhood of a vertex that is about to be
+  /// removed). Returns the number of vertices visited.
   template <typename Visitor>
-  uint32_t Run(const Graph& g, const std::vector<uint8_t>& alive, VertexId src,
-               int h, Visitor&& visit) {
+  uint32_t Run(const Graph& g, const VertexMask& alive, VertexId src, int h,
+               Visitor&& visit) {
     HCORE_DCHECK(src < g.num_vertices());
     HCORE_DCHECK(alive.size() == g.num_vertices());
     EnsureCapacity(g.num_vertices());
@@ -58,7 +60,7 @@ class BoundedBfs {
       const int d = dist_[v];
       if (d >= h) break;  // BFS order: all later entries are at depth >= d.
       for (VertexId u : g.neighbors(v)) {
-        if (mark_[u] == stamp_ || !alive[u]) continue;
+        if (mark_[u] == stamp_ || !alive.IsAlive(u)) continue;
         mark_[u] = stamp_;
         dist_[u] = d + 1;
         queue_.push_back(u);
@@ -71,16 +73,15 @@ class BoundedBfs {
   }
 
   /// h-degree of `src` in the alive-induced subgraph: |N(src, h)|.
-  uint32_t HDegree(const Graph& g, const std::vector<uint8_t>& alive,
-                   VertexId src, int h) {
+  uint32_t HDegree(const Graph& g, const VertexMask& alive, VertexId src,
+                   int h) {
     return Run(g, alive, src, h, [](VertexId, int) {});
   }
 
   /// Collects the h-neighborhood of `src` with distances into `out`
   /// (cleared first). Returns out->size().
-  uint32_t CollectNeighborhood(const Graph& g,
-                               const std::vector<uint8_t>& alive, VertexId src,
-                               int h,
+  uint32_t CollectNeighborhood(const Graph& g, const VertexMask& alive,
+                               VertexId src, int h,
                                std::vector<std::pair<VertexId, int>>* out) {
     out->clear();
     return Run(g, alive, src, h,
@@ -91,10 +92,19 @@ class BoundedBfs {
   uint64_t total_visited() const { return total_visited_; }
   void ResetStats() { total_visited_ = 0; }
 
+  /// Test-only: fast-forwards the epoch stamp so suites can exercise the
+  /// wraparound path without ~4B traversals.
+  void set_stamp_for_testing(uint32_t stamp) { stamp_ = stamp; }
+
  private:
   void NextStamp() {
     if (++stamp_ == 0) {
+      // Stamp wraparound: stale marks could collide with re-used stamp
+      // values. Clear both scratch arrays — refilling only mark_ would keep
+      // stale dist_ entries alive next to freshly zeroed marks, a trap for
+      // any future reader that consults dist_ without checking mark_ first.
       std::fill(mark_.begin(), mark_.end(), 0);
+      std::fill(dist_.begin(), dist_.end(), 0);
       stamp_ = 1;
     }
   }

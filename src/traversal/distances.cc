@@ -8,7 +8,7 @@ namespace hcore {
 namespace {
 
 std::vector<uint32_t> BfsImpl(const Graph& g, VertexId src,
-                              const uint8_t* alive) {
+                              const VertexMask* alive) {
   const VertexId n = g.num_vertices();
   std::vector<uint32_t> dist(n, kUnreachable);
   std::vector<VertexId> queue;
@@ -19,7 +19,7 @@ std::vector<uint32_t> BfsImpl(const Graph& g, VertexId src,
     VertexId v = queue[head];
     for (VertexId u : g.neighbors(v)) {
       if (dist[u] != kUnreachable) continue;
-      if (alive != nullptr && !alive[u]) continue;
+      if (alive != nullptr && !alive->IsAlive(u)) continue;
       dist[u] = dist[v] + 1;
       queue.push_back(u);
     }
@@ -34,13 +34,12 @@ std::vector<uint32_t> BfsDistances(const Graph& g, VertexId src) {
   return BfsImpl(g, src, nullptr);
 }
 
-std::vector<uint32_t> BfsDistances(const Graph& g,
-                                   const std::vector<uint8_t>& alive,
+std::vector<uint32_t> BfsDistances(const Graph& g, const VertexMask& alive,
                                    VertexId src) {
   HCORE_CHECK(src < g.num_vertices());
   HCORE_CHECK(alive.size() == g.num_vertices());
-  HCORE_CHECK(alive[src]);
-  return BfsImpl(g, src, alive.data());
+  HCORE_CHECK(alive.IsAlive(src));
+  return BfsImpl(g, src, &alive);
 }
 
 uint32_t Distance(const Graph& g, VertexId u, VertexId v) {

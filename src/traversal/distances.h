@@ -9,6 +9,7 @@
 #include <limits>
 #include <vector>
 
+#include "engine/vertex_mask.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 
@@ -21,8 +22,7 @@ inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
 std::vector<uint32_t> BfsDistances(const Graph& g, VertexId src);
 
 /// BFS distances within the alive-masked subgraph. `src` must be alive.
-std::vector<uint32_t> BfsDistances(const Graph& g,
-                                   const std::vector<uint8_t>& alive,
+std::vector<uint32_t> BfsDistances(const Graph& g, const VertexMask& alive,
                                    VertexId src);
 
 /// Shortest-path distance between two vertices (kUnreachable if none).

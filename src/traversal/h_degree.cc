@@ -22,15 +22,13 @@ HDegreeComputer::HDegreeComputer(VertexId n, int num_threads)
   }
 }
 
-uint32_t HDegreeComputer::Compute(const Graph& g,
-                                  const std::vector<uint8_t>& alive,
+uint32_t HDegreeComputer::Compute(const Graph& g, const VertexMask& alive,
                                   VertexId v, int h) {
   return scratch_[0]->HDegree(g, alive, v, h);
 }
 
-void HDegreeComputer::ComputeBatch(const Graph& g,
-                                   const std::vector<uint8_t>& alive, int h,
-                                   std::span<const VertexId> batch,
+void HDegreeComputer::ComputeBatch(const Graph& g, const VertexMask& alive,
+                                   int h, std::span<const VertexId> batch,
                                    uint32_t* out) {
   if (num_threads_ <= 1 || batch.size() < kMinParallelBatch) {
     BoundedBfs& bfs = *scratch_[0];
@@ -60,23 +58,18 @@ void HDegreeComputer::ComputeBatch(const Graph& g,
   pool_->Wait();
 }
 
-void HDegreeComputer::ComputeAllAlive(const Graph& g,
-                                      const std::vector<uint8_t>& alive, int h,
-                                      std::vector<uint32_t>* out) {
+void HDegreeComputer::ComputeAllAlive(const Graph& g, const VertexMask& alive,
+                                      int h, std::vector<uint32_t>* out) {
   const VertexId n = g.num_vertices();
   out->resize(n);
-  std::vector<VertexId> batch;
-  batch.reserve(n);
-  for (VertexId v = 0; v < n; ++v) {
-    if (alive[v]) batch.push_back(v);
-  }
+  std::vector<VertexId> batch = alive.AliveVertices();
   std::vector<uint32_t> degs(batch.size());
   ComputeBatch(g, alive, h, batch, degs.data());
   for (size_t i = 0; i < batch.size(); ++i) (*out)[batch[i]] = degs[i];
 }
 
 uint32_t HDegreeComputer::CollectNeighborhood(
-    const Graph& g, const std::vector<uint8_t>& alive, VertexId v, int h,
+    const Graph& g, const VertexMask& alive, VertexId v, int h,
     std::vector<std::pair<VertexId, int>>* out) {
   return scratch_[0]->CollectNeighborhood(g, alive, v, h, out);
 }

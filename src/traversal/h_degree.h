@@ -5,6 +5,7 @@
 // each removed vertex, assigning vertices to threads dynamically.
 // HDegreeComputer owns one BoundedBfs scratch per worker plus a shared
 // thread pool, and exposes batch APIs that implement exactly that scheme.
+// Alive subsets are expressed as VertexMask views (engine/vertex_mask.h).
 
 #ifndef HCORE_TRAVERSAL_H_DEGREE_H_
 #define HCORE_TRAVERSAL_H_DEGREE_H_
@@ -14,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/vertex_mask.h"
 #include "graph/graph.h"
 #include "traversal/bounded_bfs.h"
 #include "util/thread_pool.h"
@@ -29,24 +31,22 @@ class HDegreeComputer {
   int num_threads() const { return num_threads_; }
 
   /// h-degree of one vertex (runs on the calling thread).
-  uint32_t Compute(const Graph& g, const std::vector<uint8_t>& alive,
-                   VertexId v, int h);
+  uint32_t Compute(const Graph& g, const VertexMask& alive, VertexId v, int h);
 
   /// h-degrees for every vertex in `batch`; out[i] receives the h-degree of
   /// batch[i]. Parallel when the computer has threads and the batch is
   /// large enough to amortize dispatch.
-  void ComputeBatch(const Graph& g, const std::vector<uint8_t>& alive, int h,
+  void ComputeBatch(const Graph& g, const VertexMask& alive, int h,
                     std::span<const VertexId> batch, uint32_t* out);
 
   /// h-degrees for all alive vertices into out (size n; dead entries are
   /// left untouched).
-  void ComputeAllAlive(const Graph& g, const std::vector<uint8_t>& alive,
-                       int h, std::vector<uint32_t>* out);
+  void ComputeAllAlive(const Graph& g, const VertexMask& alive, int h,
+                       std::vector<uint32_t>* out);
 
   /// Enumerates the h-neighborhood of `v` with distances (sequential).
-  uint32_t CollectNeighborhood(const Graph& g,
-                               const std::vector<uint8_t>& alive, VertexId v,
-                               int h,
+  uint32_t CollectNeighborhood(const Graph& g, const VertexMask& alive,
+                               VertexId v, int h,
                                std::vector<std::pair<VertexId, int>>* out);
 
   /// Total vertices visited by all BFS runs (the paper's Table-3 "visits").

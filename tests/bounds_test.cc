@@ -42,7 +42,7 @@ TEST(BoundsPaperExample, Example5UpperBoundValues) {
   // Example 5 (h = 2): UB(v1) = 4 and UB(vi) = 6 for i >= 2.
   Graph g = gen::PaperFigure1();
   HDegreeComputer degrees(g.num_vertices(), 1);
-  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  VertexMask alive(g.num_vertices(), true);
   std::vector<uint32_t> hdeg;
   degrees.ComputeAllAlive(g, alive, 2, &hdeg);
   std::vector<uint32_t> ub = ComputePowerGraphUpperBound(g, 2, hdeg, &degrees);
@@ -55,14 +55,16 @@ TEST(BoundsPaperExample, ImproveLbCleansV6Partition) {
   // v2..v13) removes v2 and v3 because their 2-degree in that subgraph is 5.
   Graph g = gen::PaperFigure1();
   HDegreeComputer degrees(g.num_vertices(), 1);
-  std::vector<uint8_t> alive(g.num_vertices(), 1);
-  alive[0] = 0;  // v1 has UB 4 < 6
+  VertexMask alive(g.num_vertices(), true);
+  alive.Kill(0);  // v1 has UB 4 < 6
   std::vector<uint32_t> lb2(g.num_vertices(), 5);
   ImproveLbResult r = ImproveLB(g, 2, 6, &alive, lb2, &degrees);
   EXPECT_EQ(r.removed, 2u);
-  EXPECT_FALSE(alive[1]);  // v2 cleaned
-  EXPECT_FALSE(alive[2]);  // v3 cleaned
-  for (VertexId v = 3; v < 13; ++v) EXPECT_TRUE(alive[v]) << "v" << v + 1;
+  EXPECT_FALSE(alive.IsAlive(1));  // v2 cleaned
+  EXPECT_FALSE(alive.IsAlive(2));  // v3 cleaned
+  for (VertexId v = 3; v < 13; ++v) {
+    EXPECT_TRUE(alive.IsAlive(v)) << "v" << v + 1;
+  }
 }
 
 class BoundsProperty
@@ -73,7 +75,7 @@ TEST_P(BoundsProperty, SandwichLb1Lb2CoreUbHdeg) {
   Graph g = MakeRandomGraph(spec);
   const VertexId n = g.num_vertices();
   HDegreeComputer degrees(n, 1);
-  std::vector<uint8_t> alive(n, 1);
+  VertexMask alive(n, true);
   std::vector<uint32_t> hdeg;
   degrees.ComputeAllAlive(g, alive, h, &hdeg);
   std::vector<uint32_t> lb1 = ComputeLB1(g, h, &degrees);
@@ -101,7 +103,7 @@ TEST_P(BoundsProperty, UpperBoundPeelOrderDominatesFullDistanceConflicts) {
   Graph g = MakeRandomGraph(spec);
   const VertexId n = g.num_vertices();
   HDegreeComputer degrees(n, 1);
-  std::vector<uint8_t> alive(n, 1);
+  VertexMask alive(n, true);
   std::vector<uint32_t> hdeg;
   degrees.ComputeAllAlive(g, alive, h, &hdeg);
   std::vector<VertexId> peel;
@@ -134,18 +136,19 @@ TEST_P(BoundsProperty, ImproveLbNeverRemovesTrueCoreMembers) {
   std::vector<uint32_t> zeros(n, 0);
   for (uint32_t k : {degeneracy, degeneracy / 2}) {
     if (k == 0) continue;
-    std::vector<uint8_t> alive(n, 1);
+    VertexMask alive(n, true);
     ImproveLbResult r = ImproveLB(g, h, k, &alive, zeros, &degrees);
-    (void)r;
     for (VertexId v = 0; v < n; ++v) {
       if (core[v] >= k) {
-        EXPECT_TRUE(alive[v]) << "cleaning dropped a (k,h)-core member, v="
-                              << v << " k=" << k;
+        EXPECT_TRUE(alive.IsAlive(v))
+            << "cleaning dropped a (k,h)-core member, v=" << v << " k=" << k;
       }
     }
     // LB3 must stay below the true core index for surviving vertices.
     for (VertexId v = 0; v < n; ++v) {
-      if (alive[v] && core[v] >= k) EXPECT_LE(r.lb3[v], core[v]);
+      if (alive.IsAlive(v) && core[v] >= k) {
+        EXPECT_LE(r.lb3[v], core[v]);
+      }
     }
   }
 }

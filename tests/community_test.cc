@@ -21,8 +21,7 @@ using ::hcore::testing::MakeRandomGraph;
 using ::hcore::testing::RandomGraphSpec;
 
 uint32_t MinHDegree(const Graph& g, const std::vector<VertexId>& s, int h) {
-  std::vector<uint8_t> mask(g.num_vertices(), 0);
-  for (VertexId v : s) mask[v] = 1;
+  VertexMask mask(g.num_vertices(), s);
   BoundedBfs bfs(g.num_vertices());
   uint32_t best = g.num_vertices();
   for (VertexId v : s) best = std::min(best, bfs.HDegree(g, mask, v, h));
@@ -41,11 +40,11 @@ uint32_t BruteForceCocktail(const Graph& g, const std::vector<VertexId>& q,
   for (uint32_t mask = 1; mask < (1u << n); ++mask) {
     if ((mask & q_mask) != q_mask) continue;
     std::vector<VertexId> s;
-    std::vector<uint8_t> alive(n, 0);
+    VertexMask alive(n, false);
     for (VertexId v = 0; v < n; ++v) {
       if (mask & (1u << v)) {
         s.push_back(v);
-        alive[v] = 1;
+        alive.Revive(v);
       }
     }
     if (ComputeConnectedComponents(g, alive).num_components != 1) continue;
@@ -99,9 +98,8 @@ TEST(Community, ResultContainsQueryAndIsConnected) {
   Graph g = gen::Connectify(gen::ErdosRenyiGnp(80, 0.05, &rng), &rng);
   CommunityResult r = DistanceCocktailParty(g, {3, 40, 77}, 2);
   ASSERT_TRUE(r.feasible);
-  std::vector<uint8_t> mask(g.num_vertices(), 0);
-  for (VertexId v : r.vertices) mask[v] = 1;
-  for (VertexId q : {3u, 40u, 77u}) EXPECT_TRUE(mask[q]);
+  VertexMask mask(g.num_vertices(), r.vertices);
+  for (VertexId q : {3u, 40u, 77u}) EXPECT_TRUE(mask.IsAlive(q));
   EXPECT_TRUE(InSameComponent(g, mask, r.vertices));
   EXPECT_EQ(MinHDegree(g, r.vertices, 2), r.min_h_degree);
 }

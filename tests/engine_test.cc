@@ -1,0 +1,359 @@
+// Tests for the engine layer: the epoch-stamped VertexMask (resets,
+// checkpoint/restore, counts), the generic PeelingEngine (policy hooks,
+// decrement vs recompute bookkeeping), and the cache-locality pass
+// (orderings, Graph::Relabeled, and ordering-invariance of the
+// decomposition).
+
+#include "engine/peeling_engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/classic_core.h"
+#include "core/kh_core.h"
+#include "engine/vertex_mask.h"
+#include "graph/generators.h"
+#include "graph/ordering.h"
+#include "test_util.h"
+
+namespace hcore {
+namespace {
+
+using ::hcore::testing::Corpus;
+using ::hcore::testing::MakeRandomGraph;
+using ::hcore::testing::RandomGraphSpec;
+
+// ---------------------------------------------------------------------------
+// VertexMask.
+// ---------------------------------------------------------------------------
+
+TEST(VertexMask, ConstructionPolarity) {
+  VertexMask all(5, true);
+  EXPECT_EQ(all.num_alive(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_TRUE(all.IsAlive(v));
+
+  VertexMask none(5, false);
+  EXPECT_EQ(none.num_alive(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_FALSE(none.IsAlive(v));
+
+  std::vector<VertexId> subset{1, 3};
+  VertexMask some(5, subset);
+  EXPECT_EQ(some.num_alive(), 2u);
+  EXPECT_TRUE(some.IsAlive(1));
+  EXPECT_TRUE(some.IsAlive(3));
+  EXPECT_FALSE(some.IsAlive(0));
+}
+
+TEST(VertexMask, KillReviveMaintainCount) {
+  VertexMask m(4, true);
+  m.Kill(2);
+  EXPECT_FALSE(m.IsAlive(2));
+  EXPECT_EQ(m.num_alive(), 3u);
+  m.Kill(2);  // no-op
+  EXPECT_EQ(m.num_alive(), 3u);
+  m.Revive(2);
+  EXPECT_TRUE(m.IsAlive(2));
+  EXPECT_EQ(m.num_alive(), 4u);
+  m.Revive(2);  // no-op
+  EXPECT_EQ(m.num_alive(), 4u);
+  EXPECT_EQ(m.AliveVertices(), (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(VertexMask, ResetsFlipWholeSetAcrossManyEpochs) {
+  VertexMask m(6, true);
+  for (int round = 0; round < 100; ++round) {
+    m.ResetAllDead();
+    EXPECT_EQ(m.num_alive(), 0u);
+    EXPECT_FALSE(m.IsAlive(round % 6));
+    m.Revive(round % 6);
+    EXPECT_TRUE(m.IsAlive(round % 6));
+    m.ResetAllAlive();
+    EXPECT_EQ(m.num_alive(), 6u);
+    m.Kill(round % 6);
+    EXPECT_FALSE(m.IsAlive(round % 6));
+    EXPECT_EQ(m.num_alive(), 5u);
+  }
+}
+
+TEST(VertexMask, CheckpointRestoreUndoesOnlyNewerToggles) {
+  VertexMask m(8, true);
+  m.Kill(0);
+  const size_t cp = m.Checkpoint();
+  m.Kill(1);
+  m.Kill(2);
+  m.Revive(0);
+  EXPECT_EQ(m.num_alive(), 6u);
+  m.RestoreTo(cp);
+  EXPECT_EQ(m.num_alive(), 7u);
+  EXPECT_FALSE(m.IsAlive(0));  // killed before the checkpoint: stays dead
+  EXPECT_TRUE(m.IsAlive(1));
+  EXPECT_TRUE(m.IsAlive(2));
+}
+
+TEST(VertexMask, NestedCheckpointsRestoreInLifoOrder) {
+  VertexMask m(6, true);
+  const size_t outer = m.Checkpoint();
+  m.Kill(1);
+  const size_t inner = m.Checkpoint();
+  m.Kill(2);
+  m.Kill(3);
+  m.RestoreTo(inner);
+  EXPECT_FALSE(m.IsAlive(1));
+  EXPECT_TRUE(m.IsAlive(2));
+  EXPECT_TRUE(m.IsAlive(3));
+  m.RestoreTo(outer);
+  EXPECT_EQ(m.num_alive(), 6u);
+}
+
+TEST(VertexMask, RepeatedTogglesOfOneVertexRestoreCleanly) {
+  VertexMask m(3, true);
+  const size_t cp = m.Checkpoint();
+  m.Kill(1);
+  m.Revive(1);
+  m.Kill(1);
+  m.RestoreTo(cp);
+  EXPECT_TRUE(m.IsAlive(1));
+  EXPECT_EQ(m.num_alive(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// PeelingEngine.
+// ---------------------------------------------------------------------------
+
+/// Reference decrement-peel: the engine with a unit-decrement policy over
+/// h = 1 must reproduce the classic core decomposition exactly.
+TEST(PeelingEngine, DecrementPolicyReproducesClassicCores) {
+  for (const auto& spec : Corpus(40, 1)) {
+    Graph g = MakeRandomGraph(spec);
+    ClassicCoreResult expect = ClassicCoreDecomposition(g);
+
+    struct Policy : PeelPolicyBase {
+      PeelAction OnNeighbor(VertexId, int, uint32_t) {
+        return PeelAction::kDecrement;
+      }
+      void OnPeeled(VertexId v, uint32_t k) { core[v] = k; }
+      std::vector<uint32_t> core;
+    };
+
+    const VertexId n = g.num_vertices();
+    VertexMask alive(n, true);
+    HDegreeComputer degrees(n, 1);
+    PeelingEngine engine(g, 1, &alive, &degrees, g.MaxDegree());
+    for (VertexId v = 0; v < n; ++v) engine.Seed(v, g.degree(v));
+    Policy policy;
+    policy.core.assign(n, 0);
+    engine.Peel(0, g.MaxDegree(), policy);
+    EXPECT_EQ(policy.core, expect.core) << spec.Name();
+    EXPECT_EQ(alive.num_alive(), 0u);
+    EXPECT_EQ(engine.stats().pops, n);
+  }
+}
+
+TEST(PeelingEngine, LazyRequeuePopsVertexTwice) {
+  // Seed a triangle with zero lower bounds; a lazy policy materializes the
+  // true degree on first pop, so every vertex is popped exactly twice and
+  // ends at core 2.
+  Graph g = gen::Complete(3);
+  VertexMask alive(3, true);
+  HDegreeComputer degrees(3, 1);
+  PeelingEngine engine(g, 1, &alive, &degrees, 3);
+
+  struct Policy : PeelPolicyBase {
+    explicit Policy(PeelingEngine* e) : e(e), lazy(e->graph().num_vertices(), 1) {}
+    bool OnPop(VertexId v, uint32_t k) {
+      if (lazy[v]) {
+        lazy[v] = 0;
+        e->Requeue(v, e->degrees().Compute(e->graph(), e->alive(), v, 1), k);
+        return false;
+      }
+      core[v] = k;
+      return true;
+    }
+    PeelAction OnNeighbor(VertexId, int, uint32_t) {
+      return PeelAction::kDecrement;
+    }
+    PeelingEngine* e;
+    std::vector<uint8_t> lazy;
+    std::vector<uint32_t> core = std::vector<uint32_t>(3, 0);
+  };
+
+  for (VertexId v = 0; v < 3; ++v) engine.Seed(v, 0);
+  Policy policy(&engine);
+  engine.Peel(0, 3, policy);
+  EXPECT_EQ(policy.core, (std::vector<uint32_t>{2, 2, 2}));
+  EXPECT_EQ(engine.stats().pops, 6u);  // each vertex popped twice
+}
+
+/// Policy for the key-update observation test below (local classes cannot
+/// declare the kSkipPinned static member until C++23).
+struct ObserveHubPolicy : PeelPolicyBase {
+  static constexpr bool kSkipPinned = false;
+  PeelAction OnNeighbor(VertexId, int, uint32_t) {
+    return PeelAction::kDecrement;
+  }
+  void OnKeyUpdate(VertexId u, uint32_t old_key, uint32_t new_key) {
+    if (u == 0) {
+      EXPECT_EQ(old_key, new_key + 1);
+      ++hub_updates;
+    }
+  }
+  int hub_updates = 0;
+};
+
+TEST(PeelingEngine, KeyUpdateHookSeesEveryChangeWhenPinnedSkipOff) {
+  // On a star with h = 1, peeling the hub last means every leaf removal
+  // decrements the hub; with kSkipPinned = false the policy observes the
+  // hub's key walking all the way down.
+  Graph g = gen::Star(5);  // hub 0, leaves 1..4
+  VertexMask alive(5, true);
+  HDegreeComputer degrees(5, 1);
+  PeelingEngine engine(g, 1, &alive, &degrees, 5);
+
+  engine.Seed(0, g.degree(0));
+  for (VertexId v = 1; v < 5; ++v) engine.Seed(v, 1);
+  ObserveHubPolicy policy;
+  engine.Peel(0, 5, policy);
+  // The hub (degree 4) is decremented once per leaf removed before the hub
+  // itself reaches bucket 1 and is popped.
+  EXPECT_GE(policy.hub_updates, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Orderings / Graph::Relabeled (cache-locality pass).
+// ---------------------------------------------------------------------------
+
+bool IsPermutation(const std::vector<VertexId>& p, VertexId n) {
+  if (p.size() != n) return false;
+  std::vector<uint8_t> seen(n, 0);
+  for (VertexId v : p) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+TEST(Ordering, DegreeDescendingIsSortedPermutation) {
+  for (const auto& spec : Corpus(50, 1)) {
+    Graph g = MakeRandomGraph(spec);
+    std::vector<VertexId> order = DegreeDescendingOrder(g);
+    ASSERT_TRUE(IsPermutation(order, g.num_vertices())) << spec.Name();
+    for (size_t i = 1; i < order.size(); ++i) {
+      EXPECT_GE(g.degree(order[i - 1]), g.degree(order[i])) << spec.Name();
+    }
+  }
+}
+
+TEST(Ordering, BfsOrderIsPermutationWithLocalNeighborhoods) {
+  for (const auto& spec : Corpus(50, 1)) {
+    Graph g = MakeRandomGraph(spec);
+    std::vector<VertexId> order = BfsOrder(g);
+    ASSERT_TRUE(IsPermutation(order, g.num_vertices())) << spec.Name();
+  }
+}
+
+TEST(Ordering, InvertPermutationRoundTrips) {
+  std::vector<VertexId> perm{3, 1, 4, 0, 2};
+  std::vector<VertexId> inv = InvertPermutation(perm);
+  for (VertexId i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[perm[i]], i);
+    EXPECT_EQ(perm[inv[i]], i);
+  }
+}
+
+TEST(Relabeled, PreservesEdgesUnderPermutation) {
+  for (const auto& spec : Corpus(40, 2)) {
+    Graph g = MakeRandomGraph(spec);
+    std::vector<VertexId> order = DegreeDescendingOrder(g);
+    Graph r = g.Relabeled(order);
+    ASSERT_EQ(r.num_vertices(), g.num_vertices());
+    ASSERT_EQ(r.num_edges(), g.num_edges());
+    std::vector<VertexId> old_to_new = InvertPermutation(order);
+    for (const auto& [u, v] : g.Edges()) {
+      EXPECT_TRUE(r.HasEdge(old_to_new[u], old_to_new[v]))
+          << spec.Name() << " edge " << u << "-" << v;
+    }
+  }
+}
+
+TEST(Relabeled, IdentityPermutationIsANoOp) {
+  Graph g = gen::PaperFigure1();
+  std::vector<VertexId> identity(g.num_vertices());
+  std::iota(identity.begin(), identity.end(), 0);
+  Graph r = g.Relabeled(identity);
+  EXPECT_EQ(r.offsets(), g.offsets());
+  EXPECT_EQ(r.neighbor_array(), g.neighbor_array());
+}
+
+class OrderingInvariance
+    : public ::testing::TestWithParam<std::tuple<RandomGraphSpec, int>> {};
+
+TEST_P(OrderingInvariance, AllOrderingsProduceIdenticalCores) {
+  const auto& [spec, h] = GetParam();
+  Graph g = MakeRandomGraph(spec);
+  KhCoreOptions base;
+  base.h = h;
+  base.ordering = VertexOrdering::kNone;
+  KhCoreResult expect = KhCoreDecomposition(g, base);
+  for (VertexOrdering ordering :
+       {VertexOrdering::kAuto, VertexOrdering::kDegreeDescending,
+        VertexOrdering::kBfs}) {
+    for (KhCoreAlgorithm alg : {KhCoreAlgorithm::kBz, KhCoreAlgorithm::kLb,
+                                KhCoreAlgorithm::kLbUb}) {
+      KhCoreOptions opts;
+      opts.h = h;
+      opts.ordering = ordering;
+      opts.algorithm = alg;
+      KhCoreResult r = KhCoreDecomposition(g, opts);
+      EXPECT_EQ(r.core, expect.core)
+          << spec.Name() << " ordering=" << static_cast<int>(ordering) << " "
+          << ToString(alg);
+      EXPECT_EQ(r.degeneracy, expect.degeneracy);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, OrderingInvariance,
+    ::testing::Combine(::testing::ValuesIn(Corpus(48, 1)),
+                       ::testing::Values(2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<RandomGraphSpec, int>>& info) {
+      return std::get<0>(info.param).Name() + "_h" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(OrderingInvariance, ExtraBoundsArePermutedWithTheGraph) {
+  // Spectrum-style usage: feed the h=2 cores as an external lower bound for
+  // h=3 while forcing a relabel; the bound must be permuted internally.
+  RandomGraphSpec spec{"ba", 60, 3};
+  Graph g = MakeRandomGraph(spec);
+  KhCoreOptions h2;
+  h2.h = 2;
+  KhCoreResult level2 = KhCoreDecomposition(g, h2);
+
+  KhCoreOptions plain;
+  plain.h = 3;
+  plain.ordering = VertexOrdering::kNone;
+  KhCoreResult expect = KhCoreDecomposition(g, plain);
+
+  KhCoreOptions seeded;
+  seeded.h = 3;
+  seeded.ordering = VertexOrdering::kDegreeDescending;
+  seeded.extra_lower_bound = &level2.core;
+  KhCoreResult r = KhCoreDecomposition(g, seeded);
+  EXPECT_EQ(r.core, expect.core);
+
+  KhCoreOptions upper;
+  upper.h = 3;
+  upper.ordering = VertexOrdering::kBfs;
+  upper.algorithm = KhCoreAlgorithm::kLbUb;
+  std::vector<uint32_t> ub(g.num_vertices(), g.num_vertices());
+  upper.extra_upper_bound = &ub;
+  KhCoreResult r2 = KhCoreDecomposition(g, upper);
+  EXPECT_EQ(r2.core, expect.core);
+}
+
+}  // namespace
+}  // namespace hcore

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/vertex_mask.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "test_util.h"
@@ -72,7 +73,9 @@ TEST_P(BucketQueueFuzz, MatchesReferenceModel) {
       ASSERT_EQ(queue.size(), key_of.size());
       for (uint32_t v = 0; v < n; ++v) {
         ASSERT_EQ(queue.Contains(v), key_of.count(v) > 0) << "v=" << v;
-        if (key_of.count(v)) ASSERT_EQ(queue.KeyOf(v), key_of[v]);
+        if (key_of.count(v)) {
+          ASSERT_EQ(queue.KeyOf(v), key_of[v]);
+        }
       }
       for (uint32_t k = 0; k <= max_key; ++k) {
         bool ref_empty = true;
@@ -98,10 +101,12 @@ TEST_P(BoundedBfsFuzz, AgreesWithMaskedBfsDistances) {
   BoundedBfs bfs(n);
   for (int trial = 0; trial < 12; ++trial) {
     // Random alive mask keeping ~70%.
-    std::vector<uint8_t> alive(n, 0);
-    for (VertexId v = 0; v < n; ++v) alive[v] = rng.NextBool(0.7) ? 1 : 0;
+    VertexMask alive(n, false);
+    for (VertexId v = 0; v < n; ++v) {
+      if (rng.NextBool(0.7)) alive.Revive(v);
+    }
     VertexId src = rng.NextIndex(n);
-    alive[src] = 1;
+    alive.Revive(src);
     std::vector<uint32_t> ref = BfsDistances(g, alive, src);
     for (int h = 1; h <= 4; ++h) {
       std::vector<std::pair<VertexId, int>> nbhd;

@@ -178,7 +178,8 @@ TEST(Connectivity, ComponentsOfDisjointPieces) {
 
 TEST(Connectivity, MaskedComponents) {
   Graph g = gen::Path(5);
-  std::vector<uint8_t> alive{1, 1, 0, 1, 1};
+  VertexMask alive(5, true);
+  alive.Kill(2);
   ConnectedComponents cc = ComputeConnectedComponents(g, alive);
   EXPECT_EQ(cc.num_components, 2u);
   EXPECT_EQ(cc.component[2], kInvalidComponent);

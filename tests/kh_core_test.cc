@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/classic_core.h"
+#include "engine/vertex_mask.h"
 #include "graph/generators.h"
 #include "graph/power_graph.h"
 #include "test_util.h"
@@ -214,10 +215,9 @@ TEST_P(KhCoreProperty, ContainmentAndUniquenessInvariants) {
   // inside G[C_k].
   BoundedBfs bfs(g.num_vertices());
   for (uint32_t k = 1; k <= r.degeneracy; ++k) {
-    std::vector<uint8_t> alive(g.num_vertices(), 0);
-    for (VertexId v : r.CoreVertices(k)) alive[v] = 1;
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (!alive[v]) continue;
+    std::vector<VertexId> members = r.CoreVertices(k);
+    VertexMask alive(g.num_vertices(), members);
+    for (VertexId v : members) {
       EXPECT_GE(bfs.HDegree(g, alive, v, h), k)
           << "vertex " << v << " in C_" << k;
     }
@@ -226,13 +226,12 @@ TEST_P(KhCoreProperty, ContainmentAndUniquenessInvariants) {
   // Maximality: the set {v : core(v) = k-1} must not extend C_k, i.e. each
   // such vertex has h-degree < k in G[C_k ∪ {v}].
   for (uint32_t k = 1; k <= r.degeneracy; ++k) {
-    std::vector<uint8_t> alive(g.num_vertices(), 0);
-    for (VertexId v : r.CoreVertices(k)) alive[v] = 1;
+    VertexMask alive(g.num_vertices(), r.CoreVertices(k));
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       if (r.core[v] != k - 1) continue;
-      alive[v] = 1;
+      alive.Revive(v);
       EXPECT_LT(bfs.HDegree(g, alive, v, h), k) << "vertex " << v;
-      alive[v] = 0;
+      alive.Kill(v);
     }
   }
 }
@@ -265,13 +264,18 @@ class KhCoreOptionsProperty : public ::testing::TestWithParam<RandomGraphSpec> {
 };
 
 TEST_P(KhCoreOptionsProperty, ThreadCountDoesNotChangeResult) {
+  // Parallel determinism: for each algorithm, 4 worker threads must produce
+  // core indexes identical to the sequential run (the HDegreeComputer batch
+  // paths only parallelize pure h-degree reads).
   Graph g = MakeRandomGraph(GetParam());
   for (int h : {2, 3}) {
-    KhCoreResult seq = Decompose(g, h, KhCoreAlgorithm::kLbUb, 1);
-    KhCoreResult par = Decompose(g, h, KhCoreAlgorithm::kLbUb, 4);
-    EXPECT_EQ(seq.core, par.core) << "h=" << h;
-    KhCoreResult par_bz = Decompose(g, h, KhCoreAlgorithm::kBz, 4);
-    EXPECT_EQ(seq.core, par_bz.core) << "h=" << h;
+    for (KhCoreAlgorithm alg : {KhCoreAlgorithm::kBz, KhCoreAlgorithm::kLb,
+                                KhCoreAlgorithm::kLbUb}) {
+      KhCoreResult seq = Decompose(g, h, alg, 1);
+      KhCoreResult par = Decompose(g, h, alg, 4);
+      EXPECT_EQ(seq.core, par.core) << ToString(alg) << " h=" << h;
+      EXPECT_EQ(seq.degeneracy, par.degeneracy) << ToString(alg) << " h=" << h;
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/vertex_mask.h"
 #include "graph/generators.h"
 #include "graph/power_graph.h"
 #include "test_util.h"
@@ -22,7 +23,7 @@ using ::hcore::testing::RandomGraphSpec;
 TEST(BoundedBfs, PathDepthTruncation) {
   Graph g = gen::Path(10);
   BoundedBfs bfs(10);
-  std::vector<uint8_t> alive(10, 1);
+  VertexMask alive(10, true);
   // From vertex 0, depth h reaches exactly vertices 1..h.
   for (int h = 1; h <= 5; ++h) {
     std::vector<std::pair<VertexId, int>> nbhd;
@@ -38,8 +39,8 @@ TEST(BoundedBfs, PathDepthTruncation) {
 TEST(BoundedBfs, RespectsAliveMask) {
   Graph g = gen::Path(5);  // 0-1-2-3-4
   BoundedBfs bfs(5);
-  std::vector<uint8_t> alive(5, 1);
-  alive[2] = 0;  // break the path
+  VertexMask alive(5, true);
+  alive.Kill(2);  // break the path
   EXPECT_EQ(bfs.HDegree(g, alive, 0, 4), 1u);  // only vertex 1 reachable
   EXPECT_EQ(bfs.HDegree(g, alive, 4, 4), 1u);  // only vertex 3
 }
@@ -49,15 +50,15 @@ TEST(BoundedBfs, SourceExpandedEvenWhenDead) {
   // alive flag must not matter.
   Graph g = gen::Star(6);
   BoundedBfs bfs(6);
-  std::vector<uint8_t> alive(6, 1);
-  alive[0] = 0;  // hub marked dead
+  VertexMask alive(6, true);
+  alive.Kill(0);  // hub marked dead
   EXPECT_EQ(bfs.HDegree(g, alive, 0, 1), 5u);
 }
 
 TEST(BoundedBfs, VisitCountAccumulates) {
   Graph g = gen::Complete(5);
   BoundedBfs bfs(5);
-  std::vector<uint8_t> alive(5, 1);
+  VertexMask alive(5, true);
   EXPECT_EQ(bfs.total_visited(), 0u);
   bfs.HDegree(g, alive, 0, 1);
   EXPECT_EQ(bfs.total_visited(), 4u);
@@ -70,8 +71,31 @@ TEST(BoundedBfs, VisitCountAccumulates) {
 TEST(BoundedBfs, HZeroVisitsNothing) {
   Graph g = gen::Complete(4);
   BoundedBfs bfs(4);
-  std::vector<uint8_t> alive(4, 1);
+  VertexMask alive(4, true);
   EXPECT_EQ(bfs.HDegree(g, alive, 0, 0), 0u);
+}
+
+TEST(BoundedBfs, StampWraparoundKeepsResultsCorrect) {
+  // Regression: on stamp overflow the scratch arrays are re-zeroed. Run a
+  // few traversals, fast-forward the stamp to the edge of overflow, grow
+  // the buffers with a larger graph, and check results straddling the wrap
+  // — stale marks/distances from the pre-wrap runs must not leak in.
+  Graph small = gen::Path(6);
+  BoundedBfs bfs(6);
+  VertexMask small_alive(6, true);
+  EXPECT_EQ(bfs.HDegree(small, small_alive, 0, 3), 3u);  // populate scratch
+
+  bfs.set_stamp_for_testing(0xFFFFFFFEu);
+  // Stamp 0xFFFFFFFF: one run right at the maximum value.
+  EXPECT_EQ(bfs.HDegree(small, small_alive, 2, 2), 4u);
+  // Next run wraps to 1 after the refill; grow the buffers first so freshly
+  // resized entries and re-zeroed entries coexist.
+  Graph big = gen::Cycle(12);
+  VertexMask big_alive(12, true);
+  EXPECT_EQ(bfs.HDegree(big, big_alive, 0, 2), 4u);
+  EXPECT_EQ(bfs.HDegree(big, big_alive, 6, 3), 6u);
+  // And the old graph still reads correctly post-wrap.
+  EXPECT_EQ(bfs.HDegree(small, small_alive, 0, 5), 5u);
 }
 
 class HDegreeProperty
@@ -82,7 +106,7 @@ TEST_P(HDegreeProperty, MatchesPowerGraphDegree) {
   Graph g = MakeRandomGraph(spec);
   Graph gh = PowerGraph(g, h);
   BoundedBfs bfs(g.num_vertices());
-  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  VertexMask alive(g.num_vertices(), true);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     EXPECT_EQ(bfs.HDegree(g, alive, v, h), gh.degree(v)) << "v=" << v;
   }
@@ -92,16 +116,18 @@ TEST_P(HDegreeProperty, ParallelMatchesSequential) {
   const auto& [spec, h] = GetParam();
   Graph g = MakeRandomGraph(spec);
   const VertexId n = g.num_vertices();
-  std::vector<uint8_t> alive(n, 1);
+  VertexMask alive(n, true);
   // Kill a third of the vertices to exercise masked traversal.
-  for (VertexId v = 0; v < n; v += 3) alive[v] = 0;
+  for (VertexId v = 0; v < n; v += 3) alive.Kill(v);
   HDegreeComputer seq(n, 1);
   HDegreeComputer par(n, 4);
   std::vector<uint32_t> a(n, 0), b(n, 0);
   seq.ComputeAllAlive(g, alive, h, &a);
   par.ComputeAllAlive(g, alive, h, &b);
   for (VertexId v = 0; v < n; ++v) {
-    if (alive[v]) EXPECT_EQ(a[v], b[v]) << "v=" << v;
+    if (alive.IsAlive(v)) {
+      EXPECT_EQ(a[v], b[v]) << "v=" << v;
+    }
   }
   EXPECT_EQ(seq.total_visited(), par.total_visited());
 }
@@ -110,7 +136,7 @@ TEST_P(HDegreeProperty, MonotoneInH) {
   const auto& [spec, h] = GetParam();
   Graph g = MakeRandomGraph(spec);
   BoundedBfs bfs(g.num_vertices());
-  std::vector<uint8_t> alive(g.num_vertices(), 1);
+  VertexMask alive(g.num_vertices(), true);
   for (VertexId v = 0; v < g.num_vertices(); v += 7) {
     EXPECT_LE(bfs.HDegree(g, alive, v, h), bfs.HDegree(g, alive, v, h + 1));
   }

@@ -1,7 +1,9 @@
 // hcore command-line tool.
 //
-//   hcore_cli decompose  --input=G.txt --h=2 [--algorithm=bz|lb|lbub]
-//                        [--threads=N] [--output=cores.txt]
+//   hcore_cli decompose  --input=G.txt --h=2 [--algo=bz|lb|lbub]
+//                        [--threads=N] [--partition=S]
+//                        [--ordering=none|auto|degree|bfs]
+//                        [--output=cores.txt]
 //   hcore_cli stats      --input=G.txt
 //   hcore_cli spectrum   --input=G.txt --max-h=4 [--output=spectrum.txt]
 //   hcore_cli hclub      --input=G.txt --h=2 [--solver=bb|it] [--no-core]
@@ -11,6 +13,11 @@
 //   hcore_cli densest    --input=G.txt --h=2
 //   hcore_cli generate   --model=ba|gnp|ws|road|cliques --n=1000 [--seed=S]
 //                        --output=G.txt
+//
+// The core-decomposition flags (--h, --algo/--algorithm, --threads,
+// --partition, --ordering) map 1:1 onto KhCoreOptions and apply to every
+// command that runs a decomposition (decompose, hierarchy, spectrum,
+// hclub, community, densest).
 //
 // Graphs are SNAP-format edge lists ('#'-comments, one "u v" per line).
 // Vertex ids printed by the tool refer to the relabeled ids (dense,
@@ -63,9 +70,9 @@ Flags ParseFlags(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0) continue;
     size_t eq = arg.find('=');
     if (eq == std::string::npos) {
-      flags.values[arg.substr(2)] = "1";
+      flags.values.insert_or_assign(arg.substr(2), std::string("1"));
     } else {
-      flags.values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      flags.values.insert_or_assign(arg.substr(2, eq - 2), arg.substr(eq + 1));
     }
   }
   return flags;
@@ -86,10 +93,24 @@ KhCoreOptions CoreOptions(const Flags& flags) {
   KhCoreOptions opts;
   opts.h = flags.GetInt("h", 2);
   opts.num_threads = flags.GetInt("threads", 1);
-  std::string alg = flags.Get("algorithm", "auto");
-  if (alg == "bz") opts.algorithm = KhCoreAlgorithm::kBz;
-  else if (alg == "lb") opts.algorithm = KhCoreAlgorithm::kLb;
-  else if (alg == "lbub") opts.algorithm = KhCoreAlgorithm::kLbUb;
+  opts.partition_size = flags.GetInt("partition", 0);
+  // --algo is the short alias for --algorithm; the explicit form wins.
+  std::string alg = flags.Get("algorithm", flags.Get("algo", "auto"));
+  if (alg == "bz") {
+    opts.algorithm = KhCoreAlgorithm::kBz;
+  } else if (alg == "lb") {
+    opts.algorithm = KhCoreAlgorithm::kLb;
+  } else if (alg == "lbub") {
+    opts.algorithm = KhCoreAlgorithm::kLbUb;
+  }
+  std::string ordering = flags.Get("ordering", "auto");
+  if (ordering == "none") {
+    opts.ordering = VertexOrdering::kNone;
+  } else if (ordering == "degree") {
+    opts.ordering = VertexOrdering::kDegreeDescending;
+  } else if (ordering == "bfs") {
+    opts.ordering = VertexOrdering::kBfs;
+  }
   return opts;
 }
 
@@ -212,8 +233,10 @@ int CmdHClub(const Flags& flags) {
   opts.solver = flags.Get("solver", "bb") == "it" ? HClubSolver::kIterative
                                                   : HClubSolver::kBranchAndBound;
   opts.max_nodes = static_cast<uint64_t>(flags.GetInt("max-nodes", 0));
-  HClubResult r = flags.Has("no-core") ? MaxHClub(g.value(), opts)
-                                       : MaxHClubWithCorePrefilter(g.value(), opts);
+  HClubResult r = flags.Has("no-core")
+                      ? MaxHClub(g.value(), opts)
+                      : MaxHClubWithCorePrefilter(g.value(), opts,
+                                                  CoreOptions(flags));
   std::printf("max %d-club size: %u%s  (%.3fs, %llu nodes)\nmembers:",
               opts.h, r.size(), r.optimal ? "" : " (budget hit, lower bound)",
               r.seconds, static_cast<unsigned long long>(r.nodes_explored));
@@ -274,7 +297,8 @@ int CmdCommunity(const Flags& flags) {
     if (v >= g.value().num_vertices()) return Fail("query vertex out of range");
   }
   const int h = flags.GetInt("h", 2);
-  CommunityResult r = DistanceCocktailParty(g.value(), query, h);
+  CommunityResult r = DistanceCocktailParty(g.value(), query, h,
+                                            CoreOptions(flags));
   if (!r.feasible) {
     std::printf("infeasible: query vertices span multiple components\n");
     return 0;
@@ -290,7 +314,8 @@ int CmdDensest(const Flags& flags) {
   Result<Graph> g = LoadInput(flags);
   if (!g.ok()) return Fail(g.status().ToString());
   const int h = flags.GetInt("h", 2);
-  DensestResult core = DensestByCoreDecomposition(g.value(), h);
+  DensestResult core = DensestByCoreDecomposition(g.value(), h,
+                                                  CoreOptions(flags));
   DensestResult greedy = DensestByGreedyPeeling(g.value(), h);
   std::printf("core-approx: f_%d=%.3f |S|=%zu\n", h, core.density,
               core.vertices.size());
