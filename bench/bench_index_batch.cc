@@ -1,0 +1,83 @@
+// Batched index maintenance vs per-edge warm restarts.
+//
+// The acceptance experiment for the HCoreIndex batch API: apply B edge
+// insertions to a 100k-vertex graph (a) one at a time through
+// DynamicKhCore::InsertEdge — one CSR splice + one warm re-decomposition
+// per edge — and (b) in one HCoreIndex::ApplyBatch — ONE CSR rebuild + one
+// warm re-decomposition per h level for the whole batch. Both must produce
+// identical core indexes; the batch path must be >= 5x faster at B = 64.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/incremental.h"
+#include "graph/generators.h"
+#include "index/hcore_index.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace hcore;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader(
+      "HCoreIndex::ApplyBatch vs sequential DynamicKhCore::InsertEdge");
+
+  const VertexId n = args.full ? 300'000u : 100'000u;
+  const int kBatch = 64;
+  const int h = 2;
+  Rng rng(17);
+  Graph g = gen::BarabasiAlbert(n, 4, &rng);
+  std::printf("graph: BA n=%u m=%llu, h=%d, B=%d\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), h, kBatch);
+
+  // One shared set of brand-new edges.
+  std::vector<EdgeEdit> batch;
+  {
+    Graph probe = g;
+    while (batch.size() < kBatch) {
+      VertexId u = rng.NextIndex(n);
+      VertexId v = rng.NextIndex(n);
+      if (u == v || probe.HasEdge(u, v)) continue;
+      batch.push_back(EdgeEdit::Insert(u, v));
+      probe = probe.WithEdits({&batch.back(), 1});
+    }
+  }
+
+  // (a) Sequential: B single-edge warm restarts.
+  KhCoreOptions core_opts;
+  core_opts.h = h;
+  DynamicKhCore dynamic(g, core_opts);
+  WallTimer seq_timer;
+  for (const EdgeEdit& e : batch) {
+    bool ok = dynamic.InsertEdge(e.u, e.v);
+    HCORE_CHECK(ok);
+  }
+  const double seq_seconds = seq_timer.ElapsedSeconds();
+
+  // (b) Batched: one CSR rebuild + one warm re-decomposition.
+  HCoreIndexOptions index_opts;
+  index_opts.max_h = h;
+  HCoreIndex index(g, index_opts);
+  WallTimer batch_timer;
+  const size_t applied = index.ApplyBatch(batch);
+  const double batch_seconds = batch_timer.ElapsedSeconds();
+  HCORE_CHECK(applied == batch.size());
+  const HCoreIndexStats stats = index.stats();
+
+  const bool identical =
+      index.snapshot()->Cores(h) == dynamic.result().core;
+  const double speedup =
+      batch_seconds > 0 ? seq_seconds / batch_seconds : 0.0;
+  const bool fast_enough = speedup >= 5.0;  // the acceptance threshold
+  std::printf("sequential: %8.3fs  (%d rebuild+redecompose rounds)\n",
+              seq_seconds, kBatch);
+  std::printf("batched:    %8.3fs  (%llu CSR rebuild, %llu level runs)\n",
+              batch_seconds,
+              static_cast<unsigned long long>(stats.csr_rebuilds),
+              static_cast<unsigned long long>(stats.level_decompositions));
+  std::printf("speedup:    %8.2fx (>= 5x required: %s)   identical cores: %s\n",
+              speedup, fast_enough ? "ok" : "FAIL",
+              identical ? "yes" : "NO (BUG)");
+  return identical && fast_enough ? 0 : 1;
+}

@@ -12,18 +12,25 @@ CommunityResult DistanceCocktailParty(const Graph& g,
                                       const std::vector<VertexId>& query,
                                       int h,
                                       const KhCoreOptions& core_options) {
-  CommunityResult out;
-  const VertexId n = g.num_vertices();
-  if (query.empty() || n == 0) return out;
-  for (VertexId q : query) HCORE_CHECK(q < n);
-
+  if (query.empty() || g.num_vertices() == 0) return {};
   KhCoreOptions opts = core_options;
   opts.h = h;
   KhCoreResult cores = KhCoreDecomposition(g, opts);
+  return DistanceCocktailPartyFromCores(g, query, h, cores.core);
+}
+
+CommunityResult DistanceCocktailPartyFromCores(
+    const Graph& g, const std::vector<VertexId>& query, int h,
+    const std::vector<uint32_t>& core) {
+  CommunityResult out;
+  const VertexId n = g.num_vertices();
+  if (query.empty() || n == 0) return out;
+  HCORE_CHECK(core.size() == n);
+  for (VertexId q : query) HCORE_CHECK(q < n);
 
   // k can be at most the minimum core index over the query.
-  uint32_t k_hi = cores.core[query.front()];
-  for (VertexId q : query) k_hi = std::min(k_hi, cores.core[q]);
+  uint32_t k_hi = core[query.front()];
+  for (VertexId q : query) k_hi = std::min(k_hi, core[q]);
 
   // Scan k downward until the query lies in one component of G[C_k]. The
   // first such k is optimal (Appendix B). The alive view only grows as k
@@ -32,10 +39,10 @@ CommunityResult DistanceCocktailParty(const Graph& g,
   std::vector<std::vector<VertexId>> by_level(k_hi + 1);
   VertexMask alive(n, false);
   for (VertexId v = 0; v < n; ++v) {
-    if (cores.core[v] >= k_hi) {
+    if (core[v] >= k_hi) {
       alive.Revive(v);
     } else {
-      by_level[cores.core[v]].push_back(v);
+      by_level[core[v]].push_back(v);
     }
   }
   for (uint32_t k = k_hi;; --k) {

@@ -35,6 +35,14 @@ CommunityResult DistanceCocktailParty(const Graph& g,
                                       int h,
                                       const KhCoreOptions& core_options = {});
 
+/// Same query served from a PRECOMPUTED decomposition — `core` must be the
+/// (k,h)-core indexes of `g` at this `h` (e.g. an HCoreIndex snapshot's
+/// Cores(h)). Runs no decomposition: the per-query cost is the downward
+/// component scan only.
+CommunityResult DistanceCocktailPartyFromCores(
+    const Graph& g, const std::vector<VertexId>& query, int h,
+    const std::vector<uint32_t>& core);
+
 }  // namespace hcore
 
 #endif  // HCORE_APPS_COMMUNITY_H_

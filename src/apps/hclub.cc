@@ -296,11 +296,24 @@ HClubResult MaxHClubWithCorePrefilter(const Graph& g,
   if (g.num_vertices() == 0) return {};
   core_options.h = options.h;
   KhCoreResult cores = KhCoreDecomposition(g, core_options);
+  HClubResult out =
+      MaxHClubFromCores(g, options, cores.core, cores.degeneracy);
+  out.seconds = timer.ElapsedSeconds();  // include the decomposition
+  return out;
+}
+
+HClubResult MaxHClubFromCores(const Graph& g, const HClubOptions& options,
+                              const std::vector<uint32_t>& core,
+                              uint32_t degeneracy) {
+  HCORE_CHECK(options.h >= 1);
+  WallTimer timer;
+  if (g.num_vertices() == 0) return {};
+  HCORE_CHECK(core.size() == g.num_vertices());
 
   HClubResult out;
-  uint32_t k_cur = cores.degeneracy;
+  uint32_t k_cur = degeneracy;
   for (;;) {
-    std::vector<VertexId> core_vertices = cores.CoreVertices(k_cur);
+    std::vector<VertexId> core_vertices = CoreVerticesAtLevel(core, k_cur);
     auto [sub, map] = g.InducedSubgraph(core_vertices);
     // Invert the old->new map for reporting original ids.
     std::vector<VertexId> back(sub.num_vertices());

@@ -80,6 +80,14 @@ HClubResult MaxHClubWithCorePrefilter(const Graph& g,
                                       const HClubOptions& options,
                                       KhCoreOptions core_options = {});
 
+/// Algorithm 7 served from a PRECOMPUTED decomposition — `core` must be the
+/// (k,h)-core indexes of `g` at h = options.h and `degeneracy` their
+/// maximum (e.g. an HCoreIndex snapshot's Cores/Degeneracy). Runs no
+/// decomposition of its own.
+HClubResult MaxHClubFromCores(const Graph& g, const HClubOptions& options,
+                              const std::vector<uint32_t>& core,
+                              uint32_t degeneracy);
+
 }  // namespace hcore
 
 #endif  // HCORE_APPS_HCLUB_H_

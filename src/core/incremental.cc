@@ -13,19 +13,12 @@ DynamicKhCore::DynamicKhCore(Graph g, const KhCoreOptions& options)
   result_ = KhCoreDecomposition(graph_, options_);
 }
 
-Graph DynamicKhCore::RebuildWith(VertexId u, VertexId v, bool insert) const {
-  GraphBuilder builder(std::max({graph_.num_vertices(), u + 1, v + 1}));
-  for (const auto& [a, b] : graph_.Edges()) {
-    if (!insert && ((a == u && b == v) || (a == v && b == u))) continue;
-    builder.AddEdge(a, b);
-  }
-  if (insert) builder.AddEdge(u, v);
-  return builder.Build();
-}
-
 bool DynamicKhCore::InsertEdge(VertexId u, VertexId v) {
   if (u == v || graph_.HasEdge(u, v)) return false;
-  Graph next = RebuildWith(u, v, /*insert=*/true);
+  // Splice the two affected adjacency lists (O(deg) merges, everything else
+  // copied through) instead of rebuilding and re-sorting the whole CSR.
+  const EdgeEdit edit = EdgeEdit::Insert(u, v);
+  Graph next = graph_.WithEdits({&edit, 1});
 
   // Old indexes lower-bound the new ones (distances only shrink). New
   // vertices (if any) get bound 0.
@@ -44,7 +37,8 @@ bool DynamicKhCore::DeleteEdge(VertexId u, VertexId v) {
       !graph_.HasEdge(u, v)) {
     return false;
   }
-  Graph next = RebuildWith(u, v, /*insert=*/false);
+  const EdgeEdit edit = EdgeEdit::Delete(u, v);
+  Graph next = graph_.WithEdits({&edit, 1});
 
   // Old indexes upper-bound the new ones (distances only grow).
   std::vector<uint32_t> upper = result_.core;

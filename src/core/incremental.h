@@ -47,8 +47,6 @@ class DynamicKhCore {
   bool DeleteEdge(VertexId u, VertexId v);
 
  private:
-  Graph RebuildWith(VertexId u, VertexId v, bool insert) const;
-
   Graph graph_;
   KhCoreOptions options_;
   KhCoreResult result_;

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "graph/ordering.h"
 
@@ -69,6 +70,106 @@ Graph Graph::Relabeled(const std::vector<VertexId>& new_to_old) const {
       adj[cursor++] = old_to_new[old_u];
     }
     std::sort(adj.begin() + offsets[nv], adj.begin() + offsets[nv + 1]);
+  }
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+Graph Graph::WithEdits(std::span<const EdgeEdit> edits,
+                       EdgeEditSummary* summary) const {
+  const VertexId old_n = num_vertices();
+
+  // Normalize: canonical endpoint order, later edits of the same edge win.
+  struct Keyed {
+    VertexId u, v;
+    uint32_t seq;
+    bool insert;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(edits.size());
+  uint32_t seq = 0;
+  for (const EdgeEdit& e : edits) {
+    ++seq;
+    if (e.u == e.v) continue;
+    keyed.push_back({std::min(e.u, e.v), std::max(e.u, e.v), seq, e.insert});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    return std::tie(a.u, a.v, a.seq) < std::tie(b.u, b.v, b.seq);
+  });
+
+  // Effective edits as directed half-edges, dropping no-ops against the
+  // current edge set. Each touched (vertex, neighbor) pair appears once.
+  struct Half {
+    VertexId v, nbr;
+    bool insert;
+  };
+  std::vector<Half> half;
+  half.reserve(keyed.size() * 2);
+  VertexId new_n = old_n;
+  EdgeEditSummary counts;
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (i + 1 < keyed.size() && keyed[i].u == keyed[i + 1].u &&
+        keyed[i].v == keyed[i + 1].v) {
+      continue;  // superseded by a later edit of the same edge
+    }
+    const Keyed& e = keyed[i];
+    const bool present = HasEdge(e.u, e.v);
+    if (e.insert == present) continue;
+    ++(e.insert ? counts.inserts : counts.deletes);
+    half.push_back({e.u, e.v, e.insert});
+    half.push_back({e.v, e.u, e.insert});
+    if (e.insert) new_n = std::max(new_n, e.v + 1);
+  }
+  if (summary != nullptr) *summary = counts;
+  if (half.empty()) return *this;
+  std::sort(half.begin(), half.end(), [](const Half& a, const Half& b) {
+    return std::tie(a.v, a.nbr) < std::tie(b.v, b.nbr);
+  });
+
+  // New offsets: old degree plus the per-vertex edit delta. Deletes never
+  // underflow (each targets a distinct present neighbor).
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(new_n) + 1, 0);
+  for (VertexId v = 0; v < old_n; ++v) offsets[v + 1] = degree(v);
+  for (const Half& e : half) {
+    offsets[e.v + 1] += e.insert ? EdgeIndex{1} : ~EdgeIndex{0};
+  }
+  for (VertexId v = 0; v < new_n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> adj(offsets[new_n]);
+  size_t hi = 0;  // cursor into `half`
+  VertexId v = 0;
+  while (v < new_n) {
+    const VertexId touched = (hi < half.size()) ? half[hi].v : new_n;
+    if (v < touched) {
+      // Copy-through: the whole untouched run [v, touched) keeps its old
+      // adjacency block, contiguous in both arrays.
+      const VertexId stop = std::min(touched, old_n);
+      if (v < stop) {
+        std::copy(neighbors_.begin() + offsets_[v],
+                  neighbors_.begin() + offsets_[stop],
+                  adj.begin() + offsets[v]);
+      }
+      v = touched;
+      continue;
+    }
+    // Splice v's list: merge the old sorted adjacency with its sorted edits.
+    auto old_it = v < old_n ? neighbors_.begin() + offsets_[v]
+                            : neighbors_.end();
+    auto old_end = v < old_n ? neighbors_.begin() + offsets_[v + 1]
+                             : neighbors_.end();
+    EdgeIndex pos = offsets[v];
+    for (; hi < half.size() && half[hi].v == v; ++hi) {
+      const Half& e = half[hi];
+      while (old_it != old_end && *old_it < e.nbr) adj[pos++] = *old_it++;
+      if (e.insert) {
+        adj[pos++] = e.nbr;
+      } else {
+        HCORE_DCHECK(old_it != old_end && *old_it == e.nbr);
+        ++old_it;
+      }
+    }
+    while (old_it != old_end) adj[pos++] = *old_it++;
+    HCORE_DCHECK(pos == offsets[v + 1]);
+    ++v;
   }
   return Graph(std::move(offsets), std::move(adj));
 }

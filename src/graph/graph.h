@@ -24,6 +24,25 @@ using EdgeIndex = uint64_t;
 
 constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
 
+/// One edge edit, for Graph::WithEdits and batched index maintenance.
+struct EdgeEdit {
+  VertexId u = 0;
+  VertexId v = 0;
+  bool insert = true;
+
+  static EdgeEdit Insert(VertexId u, VertexId v) { return {u, v, true}; }
+  static EdgeEdit Delete(VertexId u, VertexId v) { return {u, v, false}; }
+};
+
+/// Per-kind counts of the edits Graph::WithEdits actually applied (after
+/// dedup and no-op filtering).
+struct EdgeEditSummary {
+  size_t inserts = 0;
+  size_t deletes = 0;
+
+  size_t applied() const { return inserts + deletes; }
+};
+
 /// Immutable simple undirected graph (CSR).
 class Graph {
  public:
@@ -75,6 +94,21 @@ class Graph {
   /// cache-locality pass: peel a relabeled copy, map indexes back via the
   /// same permutation. O(n + m), adjacency lists stay sorted.
   Graph Relabeled(const std::vector<VertexId>& new_to_old) const;
+
+  /// Applies a batch of edge edits in ONE pass over the CSR arrays and
+  /// returns the resulting graph. Untouched adjacency lists are copied
+  /// through in contiguous runs; each touched list is spliced by a sorted
+  /// merge (O(deg) per touched vertex) — no per-edge re-sort, no global
+  /// rebuild. Semantics:
+  ///   * for each edge, the LAST edit in the span wins; superseded edits
+  ///     have no effect at all (in particular, a cancelled out-of-range
+  ///     insert does not grow the vertex set);
+  ///   * self-loops, inserts of present edges, and deletes of absent edges
+  ///     are no-ops;
+  ///   * an EFFECTIVE insert past num_vertices() grows the vertex count.
+  /// `summary` (optional) receives per-kind counts of the effective edits.
+  Graph WithEdits(std::span<const EdgeEdit> edits,
+                  EdgeEditSummary* summary = nullptr) const;
 
   /// All edges as (u, v) pairs with u < v.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;

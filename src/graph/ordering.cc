@@ -41,6 +41,38 @@ std::vector<VertexId> BfsOrder(const Graph& g) {
   return order;
 }
 
+std::vector<uint32_t> GatherByPermutation(std::span<const uint32_t> values,
+                                          std::span<const VertexId> perm) {
+  HCORE_CHECK(values.size() == perm.size());
+  std::vector<uint32_t> out(values.size());
+  for (size_t i = 0; i < perm.size(); ++i) out[i] = values[perm[i]];
+  return out;
+}
+
+std::vector<uint32_t> ScatterByPermutation(std::span<const uint32_t> values,
+                                           std::span<const VertexId> perm) {
+  HCORE_CHECK(values.size() == perm.size());
+  std::vector<uint32_t> out(values.size());
+  for (size_t i = 0; i < perm.size(); ++i) out[perm[i]] = values[i];
+  return out;
+}
+
+double MeanNeighborGapFraction(const Graph& g, VertexId samples) {
+  const VertexId n = g.num_vertices();
+  if (n == 0 || samples == 0) return 0.0;
+  const VertexId step = std::max<VertexId>(1, n / samples);
+  uint64_t sum = 0;
+  uint64_t count = 0;
+  for (VertexId v = 0; v < n; v += step) {
+    for (VertexId u : g.neighbors(v)) {
+      sum += v > u ? v - u : u - v;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / count / n;
+}
+
 std::vector<VertexId> InvertPermutation(std::span<const VertexId> perm) {
   std::vector<VertexId> inverse(perm.size(), kInvalidVertex);
   for (VertexId i = 0; i < perm.size(); ++i) {

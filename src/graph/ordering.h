@@ -32,6 +32,24 @@ std::vector<VertexId> BfsOrder(const Graph& g);
 /// Inverse of a permutation: out[perm[i]] = i.
 std::vector<VertexId> InvertPermutation(std::span<const VertexId> perm);
 
+/// Gathers a per-vertex vector into permuted order: out[i] = values[perm[i]].
+/// Used to carry bounds INTO a Graph::Relabeled copy (perm = new-id ->
+/// old-id).
+std::vector<uint32_t> GatherByPermutation(std::span<const uint32_t> values,
+                                          std::span<const VertexId> perm);
+
+/// Scatters a per-vertex vector back: out[perm[i]] = values[i]. Used to map
+/// results computed on a relabeled copy back to the caller's ids.
+std::vector<uint32_t> ScatterByPermutation(std::span<const uint32_t> values,
+                                           std::span<const VertexId> perm);
+
+/// Cheap locality statistic backing VertexOrdering::kAuto: the mean id gap
+/// |v - u| over all edges of ~`samples` evenly-strided vertices, as a
+/// fraction of n. Uniformly random ids score ~1/3; BFS/crawl/generator
+/// orders score well under 0.1 on sparse graphs. Deterministic; O(samples
+/// * avg degree).
+double MeanNeighborGapFraction(const Graph& g, VertexId samples = 1024);
+
 }  // namespace hcore
 
 #endif  // HCORE_GRAPH_ORDERING_H_

@@ -1,0 +1,301 @@
+#include "index/hcore_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/ordering.h"
+
+namespace hcore {
+namespace {
+
+void MergeStats(HCoreIndexStats* into, const HCoreIndexStats& delta) {
+  into->csr_rebuilds += delta.csr_rebuilds;
+  into->batches_applied += delta.batches_applied;
+  into->edits_applied += delta.edits_applied;
+  into->level_decompositions += delta.level_decompositions;
+  into->levels_unchanged += delta.levels_unchanged;
+  into->decomposition.visited_vertices += delta.decomposition.visited_vertices;
+  into->decomposition.hdegree_computations +=
+      delta.decomposition.hdegree_computations;
+  into->decomposition.decrement_updates +=
+      delta.decomposition.decrement_updates;
+  into->decomposition.partitions += delta.decomposition.partitions;
+  into->decomposition.seconds += delta.decomposition.seconds;
+  into->decomposition.bound_seconds += delta.decomposition.bound_seconds;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HCoreSnapshot
+// ---------------------------------------------------------------------------
+
+HCoreSnapshot::HCoreSnapshot(std::shared_ptr<const Graph> graph,
+                             std::vector<Level> levels, uint64_t epoch)
+    : graph_(std::move(graph)),
+      levels_(std::move(levels)),
+      epoch_(epoch),
+      hierarchy_(levels_.size()),
+      density_(levels_.size()) {}
+
+const std::vector<uint32_t>& HCoreSnapshot::Cores(int h) const {
+  HCORE_CHECK(h >= 1 && h <= max_h());
+  return *levels_[h - 1].core;
+}
+
+uint32_t HCoreSnapshot::CoreOf(VertexId v, int h) const {
+  const std::vector<uint32_t>& core = Cores(h);
+  HCORE_CHECK(v < core.size());
+  return core[v];
+}
+
+std::vector<uint32_t> HCoreSnapshot::Spectrum(VertexId v) const {
+  std::vector<uint32_t> out;
+  out.reserve(levels_.size());
+  for (const Level& level : levels_) {
+    HCORE_CHECK(v < level.core->size());
+    out.push_back((*level.core)[v]);
+  }
+  return out;
+}
+
+uint32_t HCoreSnapshot::Degeneracy(int h) const {
+  HCORE_CHECK(h >= 1 && h <= max_h());
+  return levels_[h - 1].degeneracy;
+}
+
+bool HCoreSnapshot::LevelReused(int h) const {
+  HCORE_CHECK(h >= 1 && h <= max_h());
+  return levels_[h - 1].reused;
+}
+
+const CoreHierarchy& HCoreSnapshot::Hierarchy(int h) const {
+  HCORE_CHECK(h >= 1 && h <= max_h());
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  std::unique_ptr<CoreHierarchy>& slot = hierarchy_[h - 1];
+  if (slot == nullptr) {
+    slot = std::make_unique<CoreHierarchy>(
+        BuildCoreHierarchy(*graph_, *levels_[h - 1].core));
+    lazy_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *slot;
+}
+
+std::vector<VertexId> HCoreSnapshot::CoreComponentOf(VertexId v, uint32_t k,
+                                                     int h) const {
+  if (v >= graph_->num_vertices() || CoreOf(v, h) < k) return {};
+  const CoreHierarchy& tree = Hierarchy(h);
+  // node_of[v] sits at level core_h(v) >= k; the component of v in C_k is
+  // the subtree of the shallowest ancestor still at level >= k (components
+  // only change at levels where the hierarchy has a node).
+  uint32_t node = tree.node_of[v];
+  while (tree.nodes[node].parent != CoreHierarchyNode::kNoParentSentinel &&
+         tree.nodes[tree.nodes[node].parent].level >= k) {
+    node = tree.nodes[node].parent;
+  }
+  return tree.ComponentVertices(node);
+}
+
+std::vector<HCoreSnapshot::LevelDensity> HCoreSnapshot::TopDensestLevels(
+    int h, size_t top_k) const {
+  HCORE_CHECK(h >= 1 && h <= max_h());
+  const uint32_t degeneracy = levels_[h - 1].degeneracy;
+  const DensityTable* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    std::unique_ptr<DensityTable>& slot = density_[h - 1];
+    if (slot == nullptr) {
+      slot = std::make_unique<DensityTable>();
+      const std::vector<uint32_t>& core = *levels_[h - 1].core;
+      slot->vertices_in_core.assign(degeneracy + 1, 0);
+      slot->edges_in_core.assign(degeneracy + 1, 0);
+      for (VertexId v = 0; v < core.size(); ++v) {
+        ++slot->vertices_in_core[core[v]];
+      }
+      // An edge {u, v} lives in C_k for every k <= min(core(u), core(v)):
+      // bucket by the min, then suffix-sum.
+      const Graph& g = *graph_;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        for (VertexId u : g.neighbors(v)) {
+          if (v < u) ++slot->edges_in_core[std::min(core[v], core[u])];
+        }
+      }
+      for (uint32_t k = degeneracy; k > 0; --k) {
+        slot->vertices_in_core[k - 1] += slot->vertices_in_core[k];
+        slot->edges_in_core[k - 1] += slot->edges_in_core[k];
+      }
+      lazy_builds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    table = slot.get();
+  }
+  // `table` is immutable once built; safe to read outside the lock.
+  std::vector<LevelDensity> out;
+  out.reserve(degeneracy);
+  for (uint32_t k = 1; k <= degeneracy; ++k) {
+    LevelDensity d;
+    d.k = k;
+    d.vertices = table->vertices_in_core[k];
+    d.edges = table->edges_in_core[k];
+    d.density = d.vertices > 0 ? static_cast<double>(d.edges) / d.vertices : 0;
+    out.push_back(d);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LevelDensity& a, const LevelDensity& b) {
+              if (a.density != b.density) return a.density > b.density;
+              return a.k > b.k;
+            });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HCoreIndex
+// ---------------------------------------------------------------------------
+
+HCoreIndex::HCoreIndex(Graph g, const HCoreIndexOptions& options)
+    : options_(options) {
+  HCORE_CHECK(options_.max_h >= 1);
+  // Bound pointers are managed per level by the index; caller-supplied ones
+  // would dangle across epochs.
+  HCORE_CHECK(options_.base.extra_lower_bound == nullptr);
+  HCORE_CHECK(options_.base.extra_upper_bound == nullptr);
+  auto graph = std::make_shared<const Graph>(std::move(g));
+  std::vector<HCoreSnapshot::Level> levels = DecomposeAll(
+      *graph, /*prev=*/nullptr, /*pure_insert=*/false, /*pure_delete=*/false,
+      &stats_);
+  snap_.reset(new HCoreSnapshot(std::move(graph), std::move(levels),
+                                /*epoch=*/0));
+}
+
+std::shared_ptr<const HCoreSnapshot> HCoreIndex::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
+    const Graph& g, const HCoreSnapshot* prev, bool pure_insert,
+    bool pure_delete, HCoreIndexStats* stats) {
+  const VertexId n = g.num_vertices();
+  // Resolve the cache-locality relabeling ONCE per epoch: every level peels
+  // the same graph, so per-level resolution (and for kAuto, per-level gap
+  // sampling) inside KhCoreDecomposition would redo identical work max_h
+  // times. When a relabel applies, the id round-trip for bounds and results
+  // is handled here and the per-level runs peel with kNone.
+  const std::vector<VertexId> order =
+      ResolveVertexOrdering(g, options_.base.ordering);
+  Graph relabeled;
+  const Graph* peel = &g;
+  if (!order.empty()) {
+    relabeled = g.Relabeled(order);
+    peel = &relabeled;
+  }
+  std::vector<HCoreSnapshot::Level> levels(options_.max_h);
+  const std::vector<uint32_t>* prev_level = nullptr;  // this epoch, h - 1
+  std::vector<uint32_t> lower, upper;
+  for (int h = 1; h <= options_.max_h; ++h) {
+    KhCoreOptions opts = options_.base;
+    opts.h = h;
+    opts.ordering = VertexOrdering::kNone;
+    const std::vector<uint32_t>* old_core =
+        prev != nullptr ? prev->levels_[h - 1].core.get() : nullptr;
+    if (h > 1) {
+      // Warm start, two sources combined (both in original ids):
+      //  * spectrum chain: core_{h-1} of THIS epoch lower-bounds core_h
+      //    (monotone in h);
+      //  * incremental bounds vs the previous epoch: after a pure-insert
+      //    batch old cores are lower bounds, after a pure-delete batch they
+      //    are upper bounds (mixed batches get neither).
+      lower.assign(n, 0);
+      if (prev_level != nullptr) {
+        std::copy(prev_level->begin(), prev_level->end(), lower.begin());
+      }
+      if (pure_insert && old_core != nullptr) {
+        const size_t limit = std::min<size_t>(old_core->size(), n);
+        for (size_t v = 0; v < limit; ++v) {
+          lower[v] = std::max(lower[v], (*old_core)[v]);
+        }
+      }
+      if (!order.empty()) lower = GatherByPermutation(lower, order);
+      opts.extra_lower_bound = &lower;
+      if (pure_delete && old_core != nullptr) {
+        upper = *old_core;  // deletes never grow the vertex set
+        if (!order.empty()) upper = GatherByPermutation(upper, order);
+        opts.extra_upper_bound = &upper;
+        // Only h-LB+UB consumes an upper bound.
+        opts.algorithm = KhCoreAlgorithm::kLbUb;
+      }
+    }
+    KhCoreResult r = KhCoreDecomposition(*peel, opts);
+    if (!order.empty()) r.core = ScatterByPermutation(r.core, order);
+    if (stats != nullptr) {
+      ++stats->level_decompositions;
+      stats->decomposition.visited_vertices += r.stats.visited_vertices;
+      stats->decomposition.hdegree_computations +=
+          r.stats.hdegree_computations;
+      stats->decomposition.decrement_updates += r.stats.decrement_updates;
+      stats->decomposition.partitions += r.stats.partitions;
+      stats->decomposition.seconds += r.stats.seconds;
+      stats->decomposition.bound_seconds += r.stats.bound_seconds;
+    }
+    HCoreSnapshot::Level& level = levels[h - 1];
+    level.degeneracy = r.degeneracy;
+    if (old_core != nullptr && *old_core == r.core) {
+      // Dirty flag stayed clean: share the previous epoch's vector.
+      level.core = prev->levels_[h - 1].core;
+      level.reused = true;
+      if (stats != nullptr) ++stats->levels_unchanged;
+    } else {
+      level.core =
+          std::make_shared<const std::vector<uint32_t>>(std::move(r.core));
+    }
+    prev_level = level.core.get();
+  }
+  return levels;
+}
+
+size_t HCoreIndex::ApplyBatch(std::span<const EdgeEdit> edits) {
+  std::lock_guard<std::mutex> writer(update_mu_);
+  std::shared_ptr<const HCoreSnapshot> prev = snapshot();
+
+  // The ONE CSR rebuild for the whole batch.
+  EdgeEditSummary summary;
+  Graph next = prev->graph().WithEdits(edits, &summary);
+  if (summary.applied() == 0) return 0;
+
+  // Purity is judged on the EFFECTIVE edits: a no-op edit of the opposite
+  // kind (e.g. deleting an absent edge) must not disable the warm start.
+  const bool pure_insert = summary.deletes == 0;
+  const bool pure_delete = summary.inserts == 0;
+
+  HCoreIndexStats delta;
+  delta.csr_rebuilds = 1;
+  delta.batches_applied = 1;
+  delta.edits_applied = summary.applied();
+  auto graph = std::make_shared<const Graph>(std::move(next));
+  std::vector<HCoreSnapshot::Level> levels =
+      DecomposeAll(*graph, prev.get(), pure_insert, pure_delete, &delta);
+  std::shared_ptr<const HCoreSnapshot> snap(new HCoreSnapshot(
+      std::move(graph), std::move(levels), prev->epoch() + 1));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_ = std::move(snap);
+  MergeStats(&stats_, delta);
+  return summary.applied();
+}
+
+bool HCoreIndex::InsertEdge(VertexId u, VertexId v) {
+  const EdgeEdit edit = EdgeEdit::Insert(u, v);
+  return ApplyBatch({&edit, 1}) > 0;
+}
+
+bool HCoreIndex::DeleteEdge(VertexId u, VertexId v) {
+  const EdgeEdit edit = EdgeEdit::Delete(u, v);
+  return ApplyBatch({&edit, 1}) > 0;
+}
+
+HCoreIndexStats HCoreIndex::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hcore

@@ -1,0 +1,201 @@
+// Queryable (k,h)-core index: one object that owns every decomposition
+// artifact for a graph and serves point queries from immutable snapshots
+// while batched edge updates rebuild the next epoch.
+//
+// The paper's §7 future work treats the per-vertex core spectrum
+// (core_1(v), ..., core_H(v)) as the queryable artifact of a graph; this
+// layer is the serving side of that idea. It unifies three previously
+// separate consumers' machinery:
+//
+//   * the multi-h warm-start sweep of core/spectrum.* (level h seeds level
+//     h+1 as a lower bound) builds the initial per-level core vectors;
+//   * the core-component dendrogram of core/hierarchy.* is built lazily,
+//     per level, on first query — never eagerly at update time;
+//   * the warm-start bounds of core/incremental.* (old cores lower-bound
+//     after inserts, upper-bound after deletes) drive ApplyBatch, which
+//     merges a whole batch of edits into ONE CSR rebuild
+//     (Graph::WithEdits) plus one warm-started re-decomposition per h
+//     level — instead of one full rebuild per edge.
+//
+// Concurrency model: readers call snapshot() and query the returned
+// HCoreSnapshot for as long as they like; snapshots are immutable (lazy
+// artifacts are built under an internal mutex, which is the only point of
+// reader-reader contention) and epoch-stamped. A writer running ApplyBatch
+// never blocks readers: it prepares the next snapshot off to the side and
+// publishes it with a pointer swap. Writers serialize among themselves.
+//
+// Dirty flags: after a batch, levels whose core vector came out identical
+// to the previous epoch share the old vector (pointer equality, see
+// LevelReused) and their derived artifacts are simply not rebuilt unless
+// queried — the hierarchy and density tables are per-snapshot lazy caches.
+
+#ifndef HCORE_INDEX_HCORE_INDEX_H_
+#define HCORE_INDEX_HCORE_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/kh_core.h"
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Configuration for an HCoreIndex.
+struct HCoreIndexOptions {
+  /// Indexed distance thresholds: h in [1, max_h].
+  int max_h = 2;
+  /// Per-level decomposition configuration (its `h` and bound pointers are
+  /// managed by the index).
+  KhCoreOptions base;
+};
+
+/// Cumulative cost counters for one index (Table-3-style: serving queries
+/// must leave `decomposition` flat; only Build/ApplyBatch may move it).
+struct HCoreIndexStats {
+  /// CSR rebuilds performed — exactly one per effective ApplyBatch.
+  uint64_t csr_rebuilds = 0;
+  /// Batches that applied at least one edit.
+  uint64_t batches_applied = 0;
+  /// Individual edge edits that had an effect.
+  uint64_t edits_applied = 0;
+  /// Warm-started per-level re-decompositions run (max_h per epoch).
+  uint64_t level_decompositions = 0;
+  /// Levels whose core vector was unchanged by a batch (artifact reuse).
+  uint64_t levels_unchanged = 0;
+  /// Aggregate engine counters over every decomposition the index ran.
+  KhCoreStats decomposition;
+};
+
+/// One immutable epoch of the index. Thread-safe for concurrent readers;
+/// obtained from HCoreIndex::snapshot() and valid for as long as the
+/// shared_ptr is held, across any number of concurrent updates.
+class HCoreSnapshot {
+ public:
+  uint64_t epoch() const { return epoch_; }
+  const Graph& graph() const { return *graph_; }
+  int max_h() const { return static_cast<int>(levels_.size()); }
+
+  /// Core index of `v` at distance threshold `h` (1-based, h <= max_h).
+  uint32_t CoreOf(VertexId v, int h) const;
+
+  /// The spectrum (core_1(v), ..., core_H(v)).
+  std::vector<uint32_t> Spectrum(VertexId v) const;
+
+  /// Full core vector at level h (index by vertex id).
+  const std::vector<uint32_t>& Cores(int h) const;
+
+  /// h-degeneracy Ĉ_h at level h.
+  uint32_t Degeneracy(int h) const;
+
+  /// True if this epoch reused the previous epoch's core vector for level h
+  /// (the batch left it unchanged; the vectors are physically shared).
+  bool LevelReused(int h) const;
+
+  /// Core-component dendrogram at level h. Built lazily on first call and
+  /// cached for the lifetime of the snapshot.
+  const CoreHierarchy& Hierarchy(int h) const;
+
+  /// Vertices of the connected component of the (k,h)-core containing `v`
+  /// (sorted). Empty when core_h(v) < k. k = 0 yields v's component of G.
+  std::vector<VertexId> CoreComponentOf(VertexId v, uint32_t k, int h) const;
+
+  /// One row of the densest-level table: the (k,h)-core C_k with its size,
+  /// induced edge count, and edge density |E(G[C_k])| / |C_k|.
+  struct LevelDensity {
+    uint32_t k = 0;
+    uint32_t vertices = 0;
+    uint64_t edges = 0;
+    double density = 0.0;
+  };
+
+  /// The `top_k` core levels of threshold h with the highest edge density,
+  /// densest first (ties: deeper level first). Per-level edge counts are
+  /// computed lazily once per snapshot (one O(m) pass) and cached.
+  std::vector<LevelDensity> TopDensestLevels(int h, size_t top_k) const;
+
+  /// Lazy artifacts materialized so far (for tests and serving telemetry).
+  uint64_t lazy_builds() const {
+    return lazy_builds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class HCoreIndex;
+
+  struct Level {
+    std::shared_ptr<const std::vector<uint32_t>> core;
+    uint32_t degeneracy = 0;
+    bool reused = false;
+  };
+
+  /// Cached per-level aggregates: suffix counts over k in [0, degeneracy].
+  struct DensityTable {
+    std::vector<uint32_t> vertices_in_core;
+    std::vector<uint64_t> edges_in_core;
+  };
+
+  HCoreSnapshot(std::shared_ptr<const Graph> graph, std::vector<Level> levels,
+                uint64_t epoch);
+
+  std::shared_ptr<const Graph> graph_;
+  std::vector<Level> levels_;
+  uint64_t epoch_ = 0;
+
+  // Lazily built, logically-const artifacts (guarded: snapshots are shared
+  // by concurrent readers).
+  mutable std::mutex lazy_mu_;
+  mutable std::vector<std::unique_ptr<CoreHierarchy>> hierarchy_;
+  mutable std::vector<std::unique_ptr<DensityTable>> density_;
+  mutable std::atomic<uint64_t> lazy_builds_{0};
+};
+
+/// The index: owns the graph and its decomposition artifacts, serves
+/// immutable snapshots, and advances epochs under batched edge updates.
+class HCoreIndex {
+ public:
+  /// Decomposes `g` for every h in [1, options.max_h] (warm-start sweep)
+  /// and publishes epoch 0.
+  explicit HCoreIndex(Graph g, const HCoreIndexOptions& options = {});
+
+  int max_h() const { return options_.max_h; }
+
+  /// The current epoch. Cheap (one pointer copy under a mutex); the caller
+  /// keeps the snapshot alive independently of future updates.
+  std::shared_ptr<const HCoreSnapshot> snapshot() const;
+
+  /// Applies a batch of edge edits: ONE CSR rebuild via Graph::WithEdits,
+  /// then one warm-started re-decomposition per level — pure-insert batches
+  /// reuse old cores as lower bounds, pure-delete batches as upper bounds,
+  /// mixed batches fall back to the spectrum chain only. Publishes a new
+  /// epoch unless every edit was a no-op. Returns the number of edits that
+  /// had an effect. Thread-safe; concurrent readers are never blocked.
+  size_t ApplyBatch(std::span<const EdgeEdit> edits);
+
+  /// Single-edit conveniences (each is a batch of one).
+  bool InsertEdge(VertexId u, VertexId v);
+  bool DeleteEdge(VertexId u, VertexId v);
+
+  /// Cumulative cost counters (serving queries never moves them).
+  HCoreIndexStats stats() const;
+
+ private:
+  std::vector<HCoreSnapshot::Level> DecomposeAll(const Graph& g,
+                                                 const HCoreSnapshot* prev,
+                                                 bool pure_insert,
+                                                 bool pure_delete,
+                                                 HCoreIndexStats* stats);
+
+  HCoreIndexOptions options_;
+  std::mutex update_mu_;  // serializes writers
+  mutable std::mutex mu_;  // guards snap_ swap and stats_
+  std::shared_ptr<const HCoreSnapshot> snap_;
+  HCoreIndexStats stats_;
+};
+
+}  // namespace hcore
+
+#endif  // HCORE_INDEX_HCORE_INDEX_H_

@@ -287,6 +287,23 @@ TEST(Relabeled, IdentityPermutationIsANoOp) {
   EXPECT_EQ(r.neighbor_array(), g.neighbor_array());
 }
 
+TEST(Ordering, MeanNeighborGapSeparatesScrambledFromLocalIds) {
+  // A long path in natural order: every neighbor is one id away.
+  Graph path = gen::Path(20000);
+  EXPECT_LT(MeanNeighborGapFraction(path), 0.01);
+  // The same path under a random permutation: gaps jump to ~n/3.
+  Rng rng(23);
+  std::vector<VertexId> perm(path.num_vertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (VertexId i = path.num_vertices(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextIndex(i)]);
+  }
+  EXPECT_GT(MeanNeighborGapFraction(path.Relabeled(perm)), 0.25);
+  // Degenerate inputs.
+  EXPECT_EQ(MeanNeighborGapFraction(Graph()), 0.0);
+  EXPECT_EQ(MeanNeighborGapFraction(path, 0), 0.0);
+}
+
 class OrderingInvariance
     : public ::testing::TestWithParam<std::tuple<RandomGraphSpec, int>> {};
 

@@ -3,9 +3,12 @@
 
 #include "graph/graph.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -160,6 +163,101 @@ TEST(GraphIo, MissingFileIsNotFound) {
   Result<Graph> r = io::ReadEdgeList("/nonexistent/hcore-missing.txt");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphWithEdits, SplicesInsertsAndDeletes) {
+  Graph g = gen::Cycle(5);
+  std::vector<EdgeEdit> edits = {
+      EdgeEdit::Insert(0, 2),
+      EdgeEdit::Delete(3, 4),
+      EdgeEdit::Insert(1, 1),  // self-loop: ignored
+      EdgeEdit::Insert(0, 1),  // already present: no-op
+      EdgeEdit::Delete(1, 3),  // absent: no-op
+  };
+  EdgeEditSummary summary;
+  Graph next = g.WithEdits(edits, &summary);
+  EXPECT_EQ(summary.inserts, 1u);
+  EXPECT_EQ(summary.deletes, 1u);
+  EXPECT_EQ(next.num_vertices(), 5u);
+  EXPECT_EQ(next.num_edges(), 5u);
+  EXPECT_TRUE(next.HasEdge(0, 2));
+  EXPECT_FALSE(next.HasEdge(3, 4));
+  EXPECT_TRUE(next.HasEdge(0, 1));
+  // The input graph is untouched.
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(3, 4));
+}
+
+TEST(GraphWithEdits, LaterEditOfTheSameEdgeWins) {
+  Graph g = gen::Path(4);
+  std::vector<EdgeEdit> edits = {
+      EdgeEdit::Insert(0, 3),
+      EdgeEdit::Delete(0, 3),  // cancels the insert above
+      EdgeEdit::Delete(1, 2),
+      EdgeEdit::Insert(2, 1),  // re-inserts (canonical order is normalized)
+      EdgeEdit::Insert(1, 9),
+      EdgeEdit::Delete(9, 1),  // cancelled out-of-range insert: no growth
+  };
+  EdgeEditSummary summary;
+  Graph next = g.WithEdits(edits, &summary);
+  EXPECT_EQ(summary.applied(), 0u);
+  EXPECT_EQ(next.num_vertices(), g.num_vertices());
+  EXPECT_EQ(next.Edges(), g.Edges());
+}
+
+TEST(GraphWithEdits, InsertGrowsTheVertexSet) {
+  Graph g = gen::Path(3);
+  std::vector<EdgeEdit> edits = {EdgeEdit::Insert(2, 6)};
+  Graph next = g.WithEdits(edits);
+  EXPECT_EQ(next.num_vertices(), 7u);
+  EXPECT_TRUE(next.HasEdge(2, 6));
+  EXPECT_EQ(next.degree(5), 0u);
+}
+
+TEST(GraphWithEdits, RandomBatchesMatchBuilderReference) {
+  for (const RandomGraphSpec& spec : Corpus(60, 2)) {
+    Graph g = MakeRandomGraph(spec);
+    Rng rng(spec.seed * 389 + 7);
+    for (int round = 0; round < 3; ++round) {
+      const VertexId n = g.num_vertices();
+      std::vector<EdgeEdit> edits;
+      for (int i = 0; i < 12; ++i) {
+        edits.push_back(EdgeEdit::Insert(rng.NextIndex(n), rng.NextIndex(n)));
+      }
+      auto edges = g.Edges();
+      for (int i = 0; i < 12 && !edges.empty(); ++i) {
+        auto [u, v] =
+            edges[rng.NextIndex(static_cast<uint32_t>(edges.size()))];
+        edits.push_back(EdgeEdit::Delete(u, v));
+      }
+      Graph spliced = g.WithEdits(edits);
+
+      // Reference: replay the edit semantics (later edit wins) on an edge
+      // set, then rebuild from scratch.
+      std::set<std::pair<VertexId, VertexId>> edge_set(edges.begin(),
+                                                       edges.end());
+      VertexId new_n = n;
+      for (const EdgeEdit& e : edits) {
+        if (e.u == e.v) continue;
+        auto key = std::minmax(e.u, e.v);
+        if (e.insert) {
+          edge_set.insert({key.first, key.second});
+          new_n = std::max(new_n, key.second + 1);
+        } else {
+          edge_set.erase({key.first, key.second});
+        }
+      }
+      GraphBuilder b(new_n);
+      for (const auto& [u, v] : edge_set) b.AddEdge(u, v);
+      Graph reference = b.Build();
+
+      ASSERT_EQ(spliced.num_vertices(), reference.num_vertices())
+          << spec.Name() << " round=" << round;
+      ASSERT_EQ(spliced.offsets(), reference.offsets());
+      ASSERT_EQ(spliced.neighbor_array(), reference.neighbor_array());
+      g = std::move(spliced);
+    }
+  }
 }
 
 TEST(Connectivity, ComponentsOfDisjointPieces) {

@@ -1,0 +1,362 @@
+// Tests for the queryable HCoreIndex: warm-start sweep correctness, batched
+// updates vs fresh decompositions, snapshot immutability under concurrent
+// readers, and the one-CSR-rebuild-per-batch contract.
+
+#include "index/hcore_index.h"
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "core/spectrum.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace hcore {
+namespace {
+
+using ::hcore::testing::Corpus;
+using ::hcore::testing::MakeRandomGraph;
+using ::hcore::testing::RandomGraphSpec;
+
+std::vector<uint32_t> FreshCores(const Graph& g, int h) {
+  KhCoreOptions opts;
+  opts.h = h;
+  return KhCoreDecomposition(g, opts).core;
+}
+
+HCoreIndexOptions IndexOptions(int max_h) {
+  HCoreIndexOptions opts;
+  opts.max_h = max_h;
+  return opts;
+}
+
+/// A deterministic random edit batch against the current graph: a mix of
+/// fresh insertions and deletions of existing edges.
+std::vector<EdgeEdit> RandomBatch(const Graph& g, Rng* rng, int inserts,
+                                  int deletes) {
+  std::vector<EdgeEdit> batch;
+  const VertexId n = g.num_vertices();
+  for (int i = 0; i < inserts; ++i) {
+    batch.push_back(EdgeEdit::Insert(rng->NextIndex(n), rng->NextIndex(n)));
+  }
+  auto edges = g.Edges();
+  for (int i = 0; i < deletes && !edges.empty(); ++i) {
+    auto [u, v] = edges[rng->NextIndex(static_cast<uint32_t>(edges.size()))];
+    batch.push_back(EdgeEdit::Delete(u, v));
+  }
+  return batch;
+}
+
+TEST(HCoreIndex, BuildMatchesSpectrumSweepAndScratchRuns) {
+  for (const RandomGraphSpec& spec : Corpus(120, 1)) {
+    Graph g = MakeRandomGraph(spec);
+    HCoreIndex index(g, IndexOptions(3));
+    auto snap = index.snapshot();
+    EXPECT_EQ(snap->epoch(), 0u);
+
+    SpectrumOptions sopts;
+    sopts.max_h = 3;
+    SpectrumResult sweep = KhCoreSpectrum(g, sopts);
+    for (int h = 1; h <= 3; ++h) {
+      EXPECT_EQ(snap->Cores(h), sweep.core[h - 1]) << spec.Name() << " h=" << h;
+      EXPECT_EQ(snap->Cores(h), FreshCores(g, h)) << spec.Name() << " h=" << h;
+      EXPECT_EQ(snap->Degeneracy(h), sweep.degeneracy[h - 1]);
+    }
+  }
+}
+
+TEST(HCoreIndex, SpectrumIsMonotoneInH) {
+  for (const RandomGraphSpec& spec : Corpus(150, 1)) {
+    Graph g = MakeRandomGraph(spec);
+    HCoreIndex index(g, IndexOptions(4));
+    auto snap = index.snapshot();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      std::vector<uint32_t> s = snap->Spectrum(v);
+      for (size_t i = 1; i < s.size(); ++i) {
+        ASSERT_LE(s[i - 1], s[i]) << spec.Name() << " v=" << v;
+      }
+    }
+  }
+}
+
+class IndexBatchProperty : public ::testing::TestWithParam<RandomGraphSpec> {};
+
+TEST_P(IndexBatchProperty, ApplyBatchEqualsFreshDecomposition) {
+  const RandomGraphSpec& spec = GetParam();
+  Graph g = MakeRandomGraph(spec);
+  HCoreIndex index(g, IndexOptions(3));
+  Rng rng(spec.seed * 977 + 5);
+
+  uint64_t expected_rebuilds = 0;
+  for (int round = 0; round < 4; ++round) {
+    // Alternate pure-insert, pure-delete, and mixed batches so all three
+    // warm-start paths are exercised.
+    const int inserts = (round % 3 == 1) ? 0 : 6;
+    const int deletes = (round % 3 == 0) ? 0 : 6;
+    auto prev = index.snapshot();
+    std::vector<EdgeEdit> batch = RandomBatch(prev->graph(), &rng, inserts,
+                                              deletes);
+    const size_t applied = index.ApplyBatch(batch);
+    auto snap = index.snapshot();
+    if (applied > 0) {
+      ++expected_rebuilds;
+      EXPECT_EQ(snap->epoch(), prev->epoch() + 1);
+    } else {
+      EXPECT_EQ(snap->epoch(), prev->epoch());
+    }
+    // Exactly one CSR rebuild per effective batch, however many edits.
+    EXPECT_EQ(index.stats().csr_rebuilds, expected_rebuilds);
+    for (int h = 1; h <= 3; ++h) {
+      ASSERT_EQ(snap->Cores(h), FreshCores(snap->graph(), h))
+          << spec.Name() << " round=" << round << " h=" << h;
+    }
+    // The previous snapshot is untouched by the update.
+    EXPECT_EQ(prev->Cores(1).size(), g.num_vertices());
+    g = snap->graph();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, IndexBatchProperty, ::testing::ValuesIn(Corpus(90, 2)),
+    [](const ::testing::TestParamInfo<RandomGraphSpec>& info) {
+      return info.param.Name();
+    });
+
+TEST(HCoreIndex, NoOpBatchKeepsEpochAndCounters) {
+  Graph g = gen::PaperFigure1();
+  HCoreIndex index(g, IndexOptions(2));
+  const HCoreIndexStats before = index.stats();
+  std::vector<EdgeEdit> noops = {
+      EdgeEdit::Insert(0, 0),                 // self-loop
+      EdgeEdit::Insert(0, 1),                 // already present
+      EdgeEdit::Delete(0, 3),                 // absent
+      EdgeEdit::Insert(0, 3),                 // superseded by ...
+      EdgeEdit::Delete(0, 3),                 // ... this later delete
+  };
+  EXPECT_EQ(index.ApplyBatch(noops), 0u);
+  EXPECT_EQ(index.snapshot()->epoch(), 0u);
+  EXPECT_EQ(index.stats().csr_rebuilds, before.csr_rebuilds);
+  EXPECT_EQ(index.stats().batches_applied, before.batches_applied);
+}
+
+TEST(HCoreIndex, AppendixEditRoundTripRestoresCores) {
+  GraphBuilder b;
+  Graph clique = gen::Complete(8);
+  for (const auto& [u, v] : clique.Edges()) b.AddEdge(u, v);
+  for (VertexId v = 8; v < 20; ++v) b.AddEdge(v, v + 1);  // path 8..20
+  b.AddEdge(0, 8);
+  Graph g = b.Build();
+
+  HCoreIndex index(g, IndexOptions(2));
+  auto before = index.snapshot();
+  // Extend the path: every clique vertex keeps core_h, path vertices near
+  // the new edge may change.
+  const EdgeEdit edit = EdgeEdit::Insert(20, 21);
+  ASSERT_EQ(index.ApplyBatch({&edit, 1}), 1u);
+  auto after = index.snapshot();
+  ASSERT_EQ(after->epoch(), 1u);
+  // The vertex set grew, so no level can be pointer-shared here; instead
+  // delete the same edge again and re-insert an edge that is core-neutral
+  // at every level: a chord inside the path tail cannot exist, so use a
+  // no-change delete/insert cycle on the appendix tip.
+  const EdgeEdit drop = EdgeEdit::Delete(20, 21);
+  ASSERT_EQ(index.ApplyBatch({&drop, 1}), 1u);
+  auto back = index.snapshot();
+  // Cores returned to the pre-insert state, but vectors are only shared
+  // with the *previous* epoch, which differs — so just verify values.
+  for (int h = 1; h <= 2; ++h) {
+    EXPECT_EQ(std::vector<uint32_t>(back->Cores(h).begin(),
+                                    back->Cores(h).begin() + 21),
+              before->Cores(h));
+  }
+}
+
+TEST(HCoreIndex, PureDeleteBatchCanReuseUnchangedLevels) {
+  // Deleting one path edge leaves the clique levels untouched: those core
+  // vectors must be shared with the previous epoch (dirty flag clean).
+  GraphBuilder b;
+  Graph clique = gen::Complete(8);
+  for (const auto& [u, v] : clique.Edges()) b.AddEdge(u, v);
+  for (VertexId v = 8; v < 24; ++v) b.AddEdge(v, v + 1);
+  Graph g = b.Build();
+
+  HCoreIndex index(g, IndexOptions(2));
+  auto before = index.snapshot();
+  // Splitting the path mid-way leaves every vertex with >= 1 neighbor, so
+  // the h = 1 core vector is bit-identical — the dirty flag must stay clean
+  // and the vector must be physically shared with the previous epoch. The
+  // h = 2 cores change around the cut.
+  const EdgeEdit edit = EdgeEdit::Delete(15, 16);
+  ASSERT_EQ(index.ApplyBatch({&edit, 1}), 1u);
+  auto after = index.snapshot();
+  for (int h = 1; h <= 2; ++h) {
+    ASSERT_EQ(after->Cores(h), FreshCores(after->graph(), h)) << "h=" << h;
+  }
+  EXPECT_TRUE(after->LevelReused(1));
+  EXPECT_EQ(&after->Cores(1), &before->Cores(1));
+  EXPECT_EQ(index.stats().levels_unchanged,
+            static_cast<uint64_t>(after->LevelReused(1)) +
+                static_cast<uint64_t>(after->LevelReused(2)));
+}
+
+TEST(HCoreIndex, CoreComponentMatchesConnectivityFinder) {
+  for (const RandomGraphSpec& spec : Corpus(80, 1)) {
+    Graph g = MakeRandomGraph(spec);
+    HCoreIndex index(g, IndexOptions(2));
+    auto snap = index.snapshot();
+    for (int h = 1; h <= 2; ++h) {
+      const uint32_t degeneracy = snap->Degeneracy(h);
+      for (uint32_t k = 0; k <= degeneracy; ++k) {
+        auto components = ConnectedCoreComponents(g, snap->Cores(h), k);
+        for (const auto& component : components) {
+          ASSERT_FALSE(component.empty());
+          // Every member reports exactly this component.
+          auto got = snap->CoreComponentOf(component.front(), k, h);
+          ASSERT_EQ(got, component)
+              << spec.Name() << " h=" << h << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(HCoreIndex, CoreComponentOfShellVertexIsEmpty) {
+  Graph g = gen::PaperFigure1();
+  HCoreIndex index(g, IndexOptions(2));
+  auto snap = index.snapshot();
+  const uint32_t degeneracy = snap->Degeneracy(2);
+  ASSERT_GT(degeneracy, 0u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (snap->CoreOf(v, 2) < degeneracy) {
+      EXPECT_TRUE(snap->CoreComponentOf(v, degeneracy, 2).empty());
+    }
+  }
+  EXPECT_TRUE(snap->CoreComponentOf(g.num_vertices() + 5, 0, 2).empty());
+}
+
+TEST(HCoreIndex, TopDensestLevelsMatchesDirectComputation) {
+  Rng rng(11);
+  Graph g = gen::PlantedPartition(3, 25, 0.5, 0.02, &rng);
+  HCoreIndex index(g, IndexOptions(2));
+  auto snap = index.snapshot();
+  for (int h = 1; h <= 2; ++h) {
+    const auto& core = snap->Cores(h);
+    auto levels = snap->TopDensestLevels(h, 1000);
+    EXPECT_EQ(levels.size(), snap->Degeneracy(h));
+    for (const auto& row : levels) {
+      uint32_t vertices = 0;
+      uint64_t edges = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (core[v] >= row.k) ++vertices;
+      }
+      for (const auto& [u, v] : g.Edges()) {
+        if (core[u] >= row.k && core[v] >= row.k) ++edges;
+      }
+      EXPECT_EQ(row.vertices, vertices) << "h=" << h << " k=" << row.k;
+      EXPECT_EQ(row.edges, edges) << "h=" << h << " k=" << row.k;
+    }
+    // Sorted densest-first.
+    for (size_t i = 1; i < levels.size(); ++i) {
+      EXPECT_GE(levels[i - 1].density, levels[i].density);
+    }
+  }
+}
+
+TEST(HCoreIndex, ServingQueriesLeavesDecompositionCountersFlat) {
+  Rng rng(3);
+  Graph g = gen::BarabasiAlbert(400, 3, &rng);
+  HCoreIndex index(g, IndexOptions(3));
+  const HCoreIndexStats built = index.stats();
+  auto snap = index.snapshot();
+  // A burst of point queries of every kind must not move the Table-3-style
+  // engine counters: serving reads the index, it never re-decomposes.
+  for (VertexId v = 0; v < 100; ++v) {
+    (void)snap->CoreOf(v, 2);
+    (void)snap->Spectrum(v);
+    (void)snap->CoreComponentOf(v, 1, 2);
+  }
+  (void)snap->TopDensestLevels(2, 5);
+  (void)snap->Hierarchy(3);
+  const HCoreIndexStats after = index.stats();
+  EXPECT_EQ(after.decomposition.visited_vertices,
+            built.decomposition.visited_vertices);
+  EXPECT_EQ(after.decomposition.hdegree_computations,
+            built.decomposition.hdegree_computations);
+  EXPECT_EQ(after.level_decompositions, built.level_decompositions);
+  EXPECT_EQ(after.csr_rebuilds, 0u);
+  // Hierarchy/density tables were built lazily, on demand only.
+  EXPECT_GT(snap->lazy_builds(), 0u);
+}
+
+TEST(HCoreIndex, ConcurrentReadersSeeConsistentEpochsDuringUpdates) {
+  Rng rng(29);
+  Graph g = gen::PlantedPartition(4, 30, 0.4, 0.02, &rng);
+  HCoreIndex index(g, IndexOptions(3));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> failed{false};
+  auto reader = [&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snap = index.snapshot();
+      const uint64_t epoch = snap->epoch();
+      const VertexId n = snap->graph().num_vertices();
+      for (VertexId v = 0; v < n; v += 7) {
+        std::vector<uint32_t> s = snap->Spectrum(v);
+        // Within one snapshot every invariant must hold regardless of the
+        // writer's progress: monotone spectrum, level sizes, stable epoch.
+        for (size_t i = 1; i < s.size(); ++i) {
+          if (s[i - 1] > s[i]) failed.store(true);
+        }
+        if (s[1] != snap->CoreOf(v, 2)) failed.store(true);
+      }
+      for (int h = 1; h <= 3; ++h) {
+        if (snap->Cores(h).size() != n) failed.store(true);
+      }
+      (void)snap->Hierarchy(2);
+      (void)snap->TopDensestLevels(2, 3);
+      if (snap->epoch() != epoch) failed.store(true);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) readers.emplace_back(reader);
+
+  Rng update_rng(31);
+  for (int round = 0; round < 10; ++round) {
+    auto batch = RandomBatch(index.snapshot()->graph(), &update_rng, 4, 4);
+    index.ApplyBatch(batch);
+  }
+  // Let readers observe the final epoch too.
+  while (reads.load(std::memory_order_relaxed) < 50) {
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  // Final state still exact.
+  auto snap = index.snapshot();
+  for (int h = 1; h <= 3; ++h) {
+    EXPECT_EQ(snap->Cores(h), FreshCores(snap->graph(), h));
+  }
+}
+
+TEST(HCoreIndex, SingleEditConveniencesMirrorDynamicKhCore) {
+  Graph g = gen::PaperFigure1();
+  HCoreIndex index(g, IndexOptions(2));
+  EXPECT_FALSE(index.InsertEdge(0, 1));  // present
+  EXPECT_TRUE(index.InsertEdge(0, 3));
+  EXPECT_EQ(index.snapshot()->Cores(2),
+            FreshCores(index.snapshot()->graph(), 2));
+  EXPECT_TRUE(index.DeleteEdge(0, 3));
+  EXPECT_FALSE(index.DeleteEdge(0, 3));  // gone
+  EXPECT_EQ(index.snapshot()->Cores(2),
+            FreshCores(index.snapshot()->graph(), 2));
+}
+
+}  // namespace
+}  // namespace hcore

@@ -13,11 +13,31 @@
 //   hcore_cli densest    --input=G.txt --h=2
 //   hcore_cli generate   --model=ba|gnp|ws|road|cliques --n=1000 [--seed=S]
 //                        --output=G.txt
+//   hcore_cli serve      --input=G.txt [--h-max=4] [--threads=N] [--algo=..]
+//
+// `serve` builds an HCoreIndex once, then answers query/update commands
+// from stdin (REPL or piped batch), one per line:
+//
+//   core <v> <h>             core index of v at threshold h
+//   spectrum <v>             core_1(v) .. core_H(v)
+//   component <v> <k> <h>    connected component of v in the (k,h)-core
+//   community <h> v1,v2,..   cocktail-party community from the snapshot
+//   densest <h> <top-k>      densest core levels of threshold h
+//   insert <u> <v>           stage an edge insertion into the pending batch
+//   delete <u> <v>           stage an edge deletion into the pending batch
+//   apply                    apply the pending batch (one epoch)
+//   stats                    epoch, graph size, cumulative engine counters
+//   quit                     exit
+//
+// Point queries are answered from the warm index — the Table-3-style BFS
+// counters shown by `stats` stay flat however many queries run; only
+// `apply` (and the initial build) moves them.
 //
 // The core-decomposition flags (--h, --algo/--algorithm, --threads,
 // --partition, --ordering) map 1:1 onto KhCoreOptions and apply to every
 // command that runs a decomposition (decompose, hierarchy, spectrum,
-// hclub, community, densest).
+// hclub, community, densest, serve). `spectrum` and `serve` read the sweep
+// depth from --h-max (alias: --max-h).
 //
 // Graphs are SNAP-format edge lists ('#'-comments, one "u v" per line).
 // Vertex ids printed by the tool refer to the relabeled ids (dense,
@@ -28,7 +48,9 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -42,6 +64,7 @@
 #include "core/spectrum.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "index/hcore_index.h"
 #include "traversal/distances.h"
 #include "util/rng.h"
 
@@ -112,6 +135,24 @@ KhCoreOptions CoreOptions(const Flags& flags) {
     opts.ordering = VertexOrdering::kBfs;
   }
   return opts;
+}
+
+/// Sweep depth for spectrum/serve: --h-max with --max-h as the legacy alias.
+int HMax(const Flags& flags, int def = 4) {
+  return flags.GetInt("h-max", flags.GetInt("max-h", def));
+}
+
+std::vector<VertexId> ParseIdList(const std::string& s) {
+  std::vector<VertexId> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(
+        static_cast<VertexId>(std::atoi(s.substr(pos, comma - pos).c_str())));
+    pos = comma + 1;
+  }
+  return out;
 }
 
 int CmdDecompose(const Flags& flags) {
@@ -199,8 +240,8 @@ int CmdSpectrum(const Flags& flags) {
   Result<Graph> g = LoadInput(flags);
   if (!g.ok()) return Fail(g.status().ToString());
   SpectrumOptions opts;
-  opts.max_h = flags.GetInt("max-h", 4);
-  opts.base.num_threads = flags.GetInt("threads", 1);
+  opts.max_h = HMax(flags);
+  opts.base = CoreOptions(flags);
   SpectrumResult r = KhCoreSpectrum(g.value(), opts);
   std::printf("h:          ");
   for (int h = 1; h <= opts.max_h; ++h) std::printf(" %8d", h);
@@ -284,15 +325,7 @@ int CmdCommunity(const Flags& flags) {
   if (!g.ok()) return Fail(g.status().ToString());
   std::string q = flags.Get("query");
   if (q.empty()) return Fail("--query=v1,v2,... required");
-  std::vector<VertexId> query;
-  size_t pos = 0;
-  while (pos < q.size()) {
-    size_t comma = q.find(',', pos);
-    if (comma == std::string::npos) comma = q.size();
-    query.push_back(
-        static_cast<VertexId>(std::atoi(q.substr(pos, comma - pos).c_str())));
-    pos = comma + 1;
-  }
+  std::vector<VertexId> query = ParseIdList(q);
   for (VertexId v : query) {
     if (v >= g.value().num_vertices()) return Fail("query vertex out of range");
   }
@@ -321,6 +354,170 @@ int CmdDensest(const Flags& flags) {
               core.vertices.size());
   std::printf("greedy-peel: f_%d=%.3f |S|=%zu\n", h, greedy.density,
               greedy.vertices.size());
+  return 0;
+}
+
+void PrintServeStats(const HCoreIndex& index) {
+  auto snap = index.snapshot();
+  const HCoreIndexStats s = index.stats();
+  std::printf(
+      "epoch=%llu n=%u m=%llu h_max=%d\n"
+      "csr_rebuilds=%llu batches=%llu edits=%llu level_runs=%llu "
+      "levels_unchanged=%llu\n"
+      "bfs_visits=%llu hdeg_computations=%llu decrements=%llu "
+      "decomposition_seconds=%.3f\n",
+      static_cast<unsigned long long>(snap->epoch()),
+      snap->graph().num_vertices(),
+      static_cast<unsigned long long>(snap->graph().num_edges()),
+      index.max_h(), static_cast<unsigned long long>(s.csr_rebuilds),
+      static_cast<unsigned long long>(s.batches_applied),
+      static_cast<unsigned long long>(s.edits_applied),
+      static_cast<unsigned long long>(s.level_decompositions),
+      static_cast<unsigned long long>(s.levels_unchanged),
+      static_cast<unsigned long long>(s.decomposition.visited_vertices),
+      static_cast<unsigned long long>(s.decomposition.hdegree_computations),
+      static_cast<unsigned long long>(s.decomposition.decrement_updates),
+      s.decomposition.seconds);
+}
+
+void PrintVertexList(const std::vector<VertexId>& vertices, size_t limit) {
+  const size_t shown = std::min(vertices.size(), limit);
+  for (size_t i = 0; i < shown; ++i) std::printf(" %u", vertices[i]);
+  if (shown < vertices.size()) {
+    std::printf(" ... (%zu more)", vertices.size() - shown);
+  }
+  std::printf("\n");
+}
+
+int CmdServe(const Flags& flags) {
+  Result<Graph> g = LoadInput(flags);
+  if (!g.ok()) return Fail(g.status().ToString());
+  HCoreIndexOptions opts;
+  opts.max_h = HMax(flags);
+  opts.base = CoreOptions(flags);
+  if (opts.max_h < 1) return Fail("--h-max must be >= 1");
+
+  std::printf("building index: n=%u m=%llu h_max=%d threads=%d ...\n",
+              g.value().num_vertices(),
+              static_cast<unsigned long long>(g.value().num_edges()),
+              opts.max_h, opts.base.num_threads);
+  HCoreIndex index(std::move(g.value()), opts);
+  std::printf("ready (%.3fs); try 'help'\n",
+              index.stats().decomposition.seconds);
+
+  const size_t print_limit =
+      static_cast<size_t>(flags.GetInt("print-limit", 32));
+  std::vector<EdgeEdit> pending;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    auto snap = index.snapshot();
+    const VertexId n = snap->graph().num_vertices();
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "core <v> <h> | spectrum <v> | component <v> <k> <h> |\n"
+          "community <h> <v1,v2,...> | densest <h> <top-k> |\n"
+          "insert <u> <v> | delete <u> <v> | apply | stats | quit\n");
+    } else if (cmd == "core") {
+      VertexId v;
+      int h;
+      if (!(in >> v >> h) || v >= n || h < 1 || h > index.max_h()) {
+        std::printf("error: usage core <v> <h>\n");
+        continue;
+      }
+      std::printf("core_%d(%u) = %u\n", h, v, snap->CoreOf(v, h));
+    } else if (cmd == "spectrum") {
+      VertexId v;
+      if (!(in >> v) || v >= n) {
+        std::printf("error: usage spectrum <v>\n");
+        continue;
+      }
+      std::printf("spectrum(%u) =", v);
+      for (uint32_t c : snap->Spectrum(v)) std::printf(" %u", c);
+      std::printf("\n");
+    } else if (cmd == "component") {
+      VertexId v;
+      uint32_t k;
+      int h;
+      if (!(in >> v >> k >> h) || v >= n || h < 1 || h > index.max_h()) {
+        std::printf("error: usage component <v> <k> <h>\n");
+        continue;
+      }
+      std::vector<VertexId> component = snap->CoreComponentOf(v, k, h);
+      std::printf("component(v=%u, k=%u, h=%d): |C|=%zu\n", v, k, h,
+                  component.size());
+      if (!component.empty()) PrintVertexList(component, print_limit);
+    } else if (cmd == "community") {
+      int h;
+      std::string ids;
+      if (!(in >> h >> ids) || h < 1 || h > index.max_h()) {
+        std::printf("error: usage community <h> <v1,v2,...>\n");
+        continue;
+      }
+      std::vector<VertexId> query = ParseIdList(ids);
+      bool valid = !query.empty();
+      for (VertexId v : query) valid &= (v < n);
+      if (!valid) {
+        std::printf("error: query vertex out of range\n");
+        continue;
+      }
+      CommunityResult r = DistanceCocktailPartyFromCores(
+          snap->graph(), query, h, snap->Cores(h));
+      if (!r.feasible) {
+        std::printf("infeasible: query spans components\n");
+        continue;
+      }
+      std::printf("community: |S|=%zu min_h_degree=%u core_level=%u\n",
+                  r.vertices.size(), r.min_h_degree, r.core_level);
+      PrintVertexList(r.vertices, print_limit);
+    } else if (cmd == "densest") {
+      int h;
+      int top_k;
+      if (!(in >> h >> top_k) || h < 1 || h > index.max_h() || top_k < 1) {
+        std::printf("error: usage densest <h> <top-k>\n");
+        continue;
+      }
+      auto rows = snap->TopDensestLevels(h, static_cast<size_t>(top_k));
+      for (const auto& row : rows) {
+        std::printf("k=%u |C_k|=%u |E(C_k)|=%llu density=%.3f\n", row.k,
+                    row.vertices, static_cast<unsigned long long>(row.edges),
+                    row.density);
+      }
+      if (rows.empty()) std::printf("(no non-empty core levels)\n");
+    } else if (cmd == "insert" || cmd == "delete") {
+      VertexId u, v;
+      if (!(in >> u >> v)) {
+        std::printf("error: usage %s <u> <v>\n", cmd.c_str());
+        continue;
+      }
+      // Inserts may grow the graph, but a typo'd id must not make the CSR
+      // rebuild allocate gigabytes: cap growth per staged edit.
+      constexpr VertexId kMaxGrowth = 1u << 20;
+      if (u >= n + kMaxGrowth || v >= n + kMaxGrowth) {
+        std::printf("error: vertex id beyond n + %u (n = %u)\n", kMaxGrowth,
+                    n);
+        continue;
+      }
+      pending.push_back(cmd == "insert" ? EdgeEdit::Insert(u, v)
+                                        : EdgeEdit::Delete(u, v));
+      std::printf("staged (%zu pending; 'apply' to commit)\n",
+                  pending.size());
+    } else if (cmd == "apply") {
+      const size_t applied = index.ApplyBatch(pending);
+      std::printf("applied %zu/%zu edits -> epoch %llu\n", applied,
+                  pending.size(),
+                  static_cast<unsigned long long>(index.snapshot()->epoch()));
+      pending.clear();
+    } else if (cmd == "stats") {
+      PrintServeStats(index);
+    } else {
+      std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -359,7 +556,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: hcore_cli <command> [--flags]\n"
                "commands: decompose hierarchy stats spectrum hclub hclique\n"
-               "          coloring community densest generate\n"
+               "          coloring community densest generate serve\n"
                "see the header comment of tools/hcore_cli.cc for details\n");
 }
 
@@ -382,6 +579,7 @@ int main(int argc, char** argv) {
   if (cmd == "community") return CmdCommunity(flags);
   if (cmd == "densest") return CmdDensest(flags);
   if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "serve") return CmdServe(flags);
   Usage();
   return 1;
 }
