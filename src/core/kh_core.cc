@@ -286,10 +286,11 @@ std::vector<VertexId> ResolveVertexOrdering(const Graph& g,
     case VertexOrdering::kNone:
       return {};
     case VertexOrdering::kAuto:
-      // The mean |v - u| id gap over ~1k sampled vertices separates the two
-      // regimes cleanly (see VertexOrdering and MeanNeighborGapFraction for
-      // the measured numbers): locality-preserving orders score well under
-      // 0.1 of n, scrambled ids ~1/3 of n. Relabel only when scrambled.
+      // The per-component mean |v - u| id gap over ~1k sampled vertices
+      // separates the two regimes cleanly (see VertexOrdering and
+      // MeanNeighborGapFraction for the measured numbers and why the score
+      // is per component): locality-preserving orders score well under 0.1,
+      // scrambled ids ~1/3. Relabel only when scrambled.
       return MeanNeighborGapFraction(g) > 0.15 ? BfsOrder(g)
                                                : std::vector<VertexId>{};
     case VertexOrdering::kDegreeDescending:

@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -140,6 +141,28 @@ class PeelingEngine {
   void Requeue(VertexId v, uint32_t key, uint32_t k) {
     keys_[v] = key;
     queue_.Insert(v, std::max(key, k));
+  }
+
+  /// Localized region peel (core/incremental.h): seeds the bucket queue
+  /// from the current mask instead of the full vertex set. `pinned`
+  /// vertices enter at the fixed key `pinned_keys[v]` — their scheduled
+  /// removal replays the surrounding true peel, so the policy must kSkip
+  /// them as neighbors and never reassign them on pop. `region` vertices
+  /// enter at their h-degree over the current alive mask (batched, parallel
+  /// when the computer has threads). The mask must hold exactly
+  /// region ∪ pinned alive; the sweep then runs over every bucket.
+  template <typename Policy>
+  void PeelRegion(std::span<const VertexId> region,
+                  std::span<const VertexId> pinned,
+                  const std::vector<uint32_t>& pinned_keys, Policy&& policy) {
+    for (const VertexId b : pinned) Seed(b, pinned_keys[b]);
+    batch_keys_.resize(region.size());
+    degrees_->ComputeBatch(g_, *alive_, h_, region, batch_keys_.data());
+    stats_.hdegree_computations += region.size();
+    for (size_t i = 0; i < region.size(); ++i) {
+      Seed(region[i], batch_keys_[i]);
+    }
+    Peel(0, queue_.max_key(), policy);
   }
 
   /// Runs the peel over buckets [max(0, k_min - 1), min(k_max, max key)].

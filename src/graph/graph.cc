@@ -75,8 +75,10 @@ Graph Graph::Relabeled(const std::vector<VertexId>& new_to_old) const {
 }
 
 Graph Graph::WithEdits(std::span<const EdgeEdit> edits,
-                       EdgeEditSummary* summary) const {
+                       EdgeEditSummary* summary,
+                       std::vector<EdgeEdit>* effective) const {
   const VertexId old_n = num_vertices();
+  if (effective != nullptr) effective->clear();
 
   // Normalize: canonical endpoint order, later edits of the same edge win.
   struct Keyed {
@@ -90,6 +92,12 @@ Graph Graph::WithEdits(std::span<const EdgeEdit> edits,
   for (const EdgeEdit& e : edits) {
     ++seq;
     if (e.u == e.v) continue;
+    if (e.u == kInvalidVertex || e.v == kInvalidVertex) {
+      // The sentinel id is meaningless as an endpoint, and an effective
+      // insert of it would wrap the vertex count (max id + 1 overflows) and
+      // index the offset array out of range. Dropped up front.
+      continue;
+    }
     keyed.push_back({std::min(e.u, e.v), std::max(e.u, e.v), seq, e.insert});
   }
   std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
@@ -112,12 +120,21 @@ Graph Graph::WithEdits(std::span<const EdgeEdit> edits,
       continue;  // superseded by a later edit of the same edge
     }
     const Keyed& e = keyed[i];
+    // A delete naming a vertex this graph does not have (including one a
+    // sibling edit in the same batch is about to create) deletes nothing.
+    // HasEdge would conclude the same from its own bounds check; stating
+    // the id/old_n contract here keeps it independent of that internal.
+    if (!e.insert && e.v >= old_n) continue;  // u <= v
     const bool present = HasEdge(e.u, e.v);
     if (e.insert == present) continue;
     ++(e.insert ? counts.inserts : counts.deletes);
     half.push_back({e.u, e.v, e.insert});
     half.push_back({e.v, e.u, e.insert});
     if (e.insert) new_n = std::max(new_n, e.v + 1);
+    if (effective != nullptr) {
+      effective->push_back(e.insert ? EdgeEdit::Insert(e.u, e.v)
+                                    : EdgeEdit::Delete(e.u, e.v));
+    }
   }
   if (summary != nullptr) *summary = counts;
   if (half.empty()) return *this;

@@ -103,12 +103,17 @@ class Graph {
   ///   * for each edge, the LAST edit in the span wins; superseded edits
   ///     have no effect at all (in particular, a cancelled out-of-range
   ///     insert does not grow the vertex set);
-  ///   * self-loops, inserts of present edges, and deletes of absent edges
-  ///     are no-ops;
+  ///   * self-loops, inserts of present edges, deletes of absent edges
+  ///     (including any delete naming a vertex >= num_vertices()), and
+  ///     edits naming the kInvalidVertex sentinel are no-ops;
   ///   * an EFFECTIVE insert past num_vertices() grows the vertex count.
-  /// `summary` (optional) receives per-kind counts of the effective edits.
+  /// `summary` (optional) receives per-kind counts of the effective edits;
+  /// `effective` (optional) receives the effective edits themselves, in
+  /// canonical form (u < v, deduplicated) — the input to localized core
+  /// maintenance (core/incremental.h).
   Graph WithEdits(std::span<const EdgeEdit> edits,
-                  EdgeEditSummary* summary = nullptr) const;
+                  EdgeEditSummary* summary = nullptr,
+                  std::vector<EdgeEdit>* effective = nullptr) const;
 
   /// All edges as (u, v) pairs with u < v.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;

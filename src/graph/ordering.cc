@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/connectivity.h"
 #include "util/check.h"
 
 namespace hcore {
@@ -60,17 +61,24 @@ std::vector<uint32_t> ScatterByPermutation(std::span<const uint32_t> values,
 double MeanNeighborGapFraction(const Graph& g, VertexId samples) {
   const VertexId n = g.num_vertices();
   if (n == 0 || samples == 0) return 0.0;
+  // Per-component scoring (see the header): a gap only indicates scrambling
+  // relative to the component it lives in, clamped below by the locality
+  // window so tiny-but-contiguous components never look scrambled.
+  const ConnectedComponents cc = ComputeConnectedComponents(g);
   const VertexId step = std::max<VertexId>(1, n / samples);
-  uint64_t sum = 0;
+  double sum = 0.0;
   uint64_t count = 0;
   for (VertexId v = 0; v < n; v += step) {
+    const double scale =
+        std::max(cc.sizes[cc.component[v]], kGapLocalityWindow);
     for (VertexId u : g.neighbors(v)) {
-      sum += v > u ? v - u : u - v;
+      const double gap = v > u ? v - u : u - v;
+      sum += std::min(1.0, gap / scale);
       ++count;
     }
   }
   if (count == 0) return 0.0;
-  return static_cast<double>(sum) / count / n;
+  return sum / static_cast<double>(count);
 }
 
 std::vector<VertexId> InvertPermutation(std::span<const VertexId> perm) {

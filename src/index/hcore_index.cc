@@ -14,6 +14,8 @@ void MergeStats(HCoreIndexStats* into, const HCoreIndexStats& delta) {
   into->edits_applied += delta.edits_applied;
   into->level_decompositions += delta.level_decompositions;
   into->levels_unchanged += delta.levels_unchanged;
+  into->localized_updates += delta.localized_updates;
+  into->fallback_repeels += delta.fallback_repeels;
   into->decomposition.visited_vertices += delta.decomposition.visited_vertices;
   into->decomposition.hdegree_computations +=
       delta.decomposition.hdegree_computations;
@@ -153,7 +155,7 @@ std::vector<HCoreSnapshot::LevelDensity> HCoreSnapshot::TopDensestLevels(
 // ---------------------------------------------------------------------------
 
 HCoreIndex::HCoreIndex(Graph g, const HCoreIndexOptions& options)
-    : options_(options) {
+    : options_(options), updater_(options.base.num_threads) {
   HCORE_CHECK(options_.max_h >= 1);
   // Bound pointers are managed per level by the index; caller-supplied ones
   // would dangle across epochs.
@@ -162,7 +164,7 @@ HCoreIndex::HCoreIndex(Graph g, const HCoreIndexOptions& options)
   auto graph = std::make_shared<const Graph>(std::move(g));
   std::vector<HCoreSnapshot::Level> levels = DecomposeAll(
       *graph, /*prev=*/nullptr, /*pure_insert=*/false, /*pure_delete=*/false,
-      &stats_);
+      /*effective=*/{}, &stats_);
   snap_.reset(new HCoreSnapshot(std::move(graph), std::move(levels),
                                 /*epoch=*/0));
 }
@@ -174,30 +176,78 @@ std::shared_ptr<const HCoreSnapshot> HCoreIndex::snapshot() const {
 
 std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
     const Graph& g, const HCoreSnapshot* prev, bool pure_insert,
-    bool pure_delete, HCoreIndexStats* stats) {
+    bool pure_delete, std::span<const EdgeEdit> effective,
+    HCoreIndexStats* stats) {
   const VertexId n = g.num_vertices();
-  // Resolve the cache-locality relabeling ONCE per epoch: every level peels
-  // the same graph, so per-level resolution (and for kAuto, per-level gap
-  // sampling) inside KhCoreDecomposition would redo identical work max_h
-  // times. When a relabel applies, the id round-trip for bounds and results
-  // is handled here and the per-level runs peel with kNone.
-  const std::vector<VertexId> order =
-      ResolveVertexOrdering(g, options_.base.ordering);
+  // Localized maintenance applies to pure batches small enough for a joint
+  // candidate region (core/incremental.h); each level falls back to the
+  // whole-graph warm start independently when its region overflows.
+  const bool try_localized =
+      prev != nullptr && (pure_insert != pure_delete) &&
+      options_.localized.enable && !effective.empty() &&
+      effective.size() <= options_.localized.max_batch;
+  // Resolve the cache-locality relabeling ONCE per epoch — and lazily, on
+  // the first level that actually re-peels the whole graph: every level
+  // peels the same graph, so per-level resolution (and for kAuto, per-level
+  // gap sampling) inside KhCoreDecomposition would redo identical work
+  // max_h times, and when every level is served by the localized path the
+  // sampling and the O(n + m) relabel never run at all. When a relabel
+  // applies, the id round-trip for bounds and results is handled here and
+  // the per-level runs peel with kNone. The localized path always works in
+  // original ids (its regions are too small for locality to matter).
+  bool order_resolved = false;
+  std::vector<VertexId> order;
   Graph relabeled;
   const Graph* peel = &g;
-  if (!order.empty()) {
-    relabeled = g.Relabeled(order);
-    peel = &relabeled;
-  }
+  auto resolve_order = [&]() {
+    if (order_resolved) return;
+    order_resolved = true;
+    order = ResolveVertexOrdering(g, options_.base.ordering);
+    if (!order.empty()) {
+      relabeled = g.Relabeled(order);
+      peel = &relabeled;
+    }
+  };
   std::vector<HCoreSnapshot::Level> levels(options_.max_h);
   const std::vector<uint32_t>* prev_level = nullptr;  // this epoch, h - 1
   std::vector<uint32_t> lower, upper;
   for (int h = 1; h <= options_.max_h; ++h) {
+    const std::vector<uint32_t>* old_core =
+        prev != nullptr ? prev->levels_[h - 1].core.get() : nullptr;
+    HCoreSnapshot::Level& level = levels[h - 1];
+    if (try_localized) {
+      std::vector<uint32_t> core = *old_core;
+      LocalizedUpdateStats ls;
+      if (updater_.UpdateLevel(prev->graph(), g, effective, pure_insert, h,
+                               &core, options_.localized, &ls)) {
+        if (stats != nullptr) {
+          ++stats->localized_updates;
+          stats->decomposition.visited_vertices += ls.visited;
+          stats->decomposition.hdegree_computations +=
+              ls.hdegree_computations;
+          stats->decomposition.decrement_updates += ls.decrement_updates;
+        }
+        uint32_t degeneracy = 0;
+        for (const uint32_t c : core) degeneracy = std::max(degeneracy, c);
+        level.degeneracy = degeneracy;
+        if (ls.changed == 0 && core.size() == old_core->size()) {
+          // Dirty flag stayed clean: share the previous epoch's vector.
+          level.core = prev->levels_[h - 1].core;
+          level.reused = true;
+          if (stats != nullptr) ++stats->levels_unchanged;
+        } else {
+          level.core =
+              std::make_shared<const std::vector<uint32_t>>(std::move(core));
+        }
+        prev_level = level.core.get();
+        continue;
+      }
+    }
+    if (stats != nullptr && prev != nullptr) ++stats->fallback_repeels;
+    resolve_order();
     KhCoreOptions opts = options_.base;
     opts.h = h;
     opts.ordering = VertexOrdering::kNone;
-    const std::vector<uint32_t>* old_core =
-        prev != nullptr ? prev->levels_[h - 1].core.get() : nullptr;
     if (h > 1) {
       // Warm start, two sources combined (both in original ids):
       //  * spectrum chain: core_{h-1} of THIS epoch lower-bounds core_h
@@ -237,7 +287,6 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
       stats->decomposition.seconds += r.stats.seconds;
       stats->decomposition.bound_seconds += r.stats.bound_seconds;
     }
-    HCoreSnapshot::Level& level = levels[h - 1];
     level.degeneracy = r.degeneracy;
     if (old_core != nullptr && *old_core == r.core) {
       // Dirty flag stayed clean: share the previous epoch's vector.
@@ -257,9 +306,11 @@ size_t HCoreIndex::ApplyBatch(std::span<const EdgeEdit> edits) {
   std::lock_guard<std::mutex> writer(update_mu_);
   std::shared_ptr<const HCoreSnapshot> prev = snapshot();
 
-  // The ONE CSR rebuild for the whole batch.
+  // The ONE CSR rebuild for the whole batch. The effective edits feed the
+  // per-level localized maintenance below.
   EdgeEditSummary summary;
-  Graph next = prev->graph().WithEdits(edits, &summary);
+  std::vector<EdgeEdit> effective;
+  Graph next = prev->graph().WithEdits(edits, &summary, &effective);
   if (summary.applied() == 0) return 0;
 
   // Purity is judged on the EFFECTIVE edits: a no-op edit of the opposite
@@ -272,8 +323,8 @@ size_t HCoreIndex::ApplyBatch(std::span<const EdgeEdit> edits) {
   delta.batches_applied = 1;
   delta.edits_applied = summary.applied();
   auto graph = std::make_shared<const Graph>(std::move(next));
-  std::vector<HCoreSnapshot::Level> levels =
-      DecomposeAll(*graph, prev.get(), pure_insert, pure_delete, &delta);
+  std::vector<HCoreSnapshot::Level> levels = DecomposeAll(
+      *graph, prev.get(), pure_insert, pure_delete, effective, &delta);
   std::shared_ptr<const HCoreSnapshot> snap(new HCoreSnapshot(
       std::move(graph), std::move(levels), prev->epoch() + 1));
 

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/hierarchy.h"
+#include "core/incremental.h"
 #include "core/kh_core.h"
 #include "graph/graph.h"
 
@@ -52,6 +53,10 @@ struct HCoreIndexOptions {
   /// Per-level decomposition configuration (its `h` and bound pointers are
   /// managed by the index).
   KhCoreOptions base;
+  /// Localized maintenance tuning (core/incremental.h): pure small batches
+  /// re-peel only the candidate region per level, falling back to the warm
+  /// whole-graph re-decomposition past the region/batch caps.
+  LocalizedUpdateOptions localized;
 };
 
 /// Cumulative cost counters for one index (Table-3-style: serving queries
@@ -63,10 +68,16 @@ struct HCoreIndexStats {
   uint64_t batches_applied = 0;
   /// Individual edge edits that had an effect.
   uint64_t edits_applied = 0;
-  /// Warm-started per-level re-decompositions run (max_h per epoch).
+  /// Whole-graph per-level decompositions run (initial build and fallback
+  /// levels of ApplyBatch).
   uint64_t level_decompositions = 0;
   /// Levels whose core vector was unchanged by a batch (artifact reuse).
   uint64_t levels_unchanged = 0;
+  /// ApplyBatch levels served by the localized region re-peel vs by the
+  /// warm whole-graph fallback. Per effective batch the two deltas sum to
+  /// max_h: every dirty level is exactly one or the other.
+  uint64_t localized_updates = 0;
+  uint64_t fallback_repeels = 0;
   /// Aggregate engine counters over every decomposition the index ran.
   KhCoreStats decomposition;
 };
@@ -168,11 +179,15 @@ class HCoreIndex {
   std::shared_ptr<const HCoreSnapshot> snapshot() const;
 
   /// Applies a batch of edge edits: ONE CSR rebuild via Graph::WithEdits,
-  /// then one warm-started re-decomposition per level — pure-insert batches
-  /// reuse old cores as lower bounds, pure-delete batches as upper bounds,
-  /// mixed batches fall back to the spectrum chain only. Publishes a new
-  /// epoch unless every edit was a no-op. Returns the number of edits that
-  /// had an effect. Thread-safe; concurrent readers are never blocked.
+  /// then per level either a LOCALIZED region re-peel (pure batches up to
+  /// options.localized.max_batch effective edits whose candidate region
+  /// fits the cap — see core/incremental.h) or a warm-started whole-graph
+  /// re-decomposition — pure-insert batches reuse old cores as lower
+  /// bounds, pure-delete batches as upper bounds, mixed batches fall back
+  /// to the spectrum chain only. The localized_updates / fallback_repeels
+  /// stats record which path served each level. Publishes a new epoch
+  /// unless every edit was a no-op. Returns the number of edits that had an
+  /// effect. Thread-safe; concurrent readers are never blocked.
   size_t ApplyBatch(std::span<const EdgeEdit> edits);
 
   /// Single-edit conveniences (each is a batch of one).
@@ -183,17 +198,17 @@ class HCoreIndex {
   HCoreIndexStats stats() const;
 
  private:
-  std::vector<HCoreSnapshot::Level> DecomposeAll(const Graph& g,
-                                                 const HCoreSnapshot* prev,
-                                                 bool pure_insert,
-                                                 bool pure_delete,
-                                                 HCoreIndexStats* stats);
+  std::vector<HCoreSnapshot::Level> DecomposeAll(
+      const Graph& g, const HCoreSnapshot* prev, bool pure_insert,
+      bool pure_delete, std::span<const EdgeEdit> effective,
+      HCoreIndexStats* stats);
 
   HCoreIndexOptions options_;
   std::mutex update_mu_;  // serializes writers
   mutable std::mutex mu_;  // guards snap_ swap and stats_
   std::shared_ptr<const HCoreSnapshot> snap_;
   HCoreIndexStats stats_;
+  LocalizedUpdater updater_;  // writer-only scratch (under update_mu_)
 };
 
 }  // namespace hcore

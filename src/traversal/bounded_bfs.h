@@ -43,8 +43,12 @@ class BoundedBfs {
   /// BFS order. `src` itself is expanded regardless of its alive flag
   /// (peeling enumerates the neighborhood of a vertex that is about to be
   /// removed). Returns the number of vertices visited.
-  template <typename Visitor>
-  uint32_t Run(const Graph& g, const VertexMask& alive, VertexId src, int h,
+  ///
+  /// `alive` is any subgraph view exposing `size()` and `IsAlive(v)` — a
+  /// VertexMask, or an ad-hoc predicate view like the per-level core masks
+  /// of the localized delete cascade (core/incremental.cc).
+  template <typename Mask, typename Visitor>
+  uint32_t Run(const Graph& g, const Mask& alive, VertexId src, int h,
                Visitor&& visit) {
     HCORE_DCHECK(src < g.num_vertices());
     HCORE_DCHECK(alive.size() == g.num_vertices());
@@ -73,8 +77,8 @@ class BoundedBfs {
   }
 
   /// h-degree of `src` in the alive-induced subgraph: |N(src, h)|.
-  uint32_t HDegree(const Graph& g, const VertexMask& alive, VertexId src,
-                   int h) {
+  template <typename Mask>
+  uint32_t HDegree(const Graph& g, const Mask& alive, VertexId src, int h) {
     return Run(g, alive, src, h, [](VertexId, int) {});
   }
 

@@ -9,29 +9,43 @@ namespace {
 // Batches smaller than this run sequentially even when a pool exists:
 // dispatch overhead would dominate.
 constexpr size_t kMinParallelBatch = 32;
+
+std::atomic<uint64_t> g_scratch_allocations{0};
 }  // namespace
 
 HDegreeComputer::HDegreeComputer(VertexId n, int num_threads)
-    : num_threads_(std::max(1, num_threads)) {
-  scratch_.reserve(num_threads_);
-  for (int t = 0; t < num_threads_; ++t) {
-    scratch_.push_back(std::make_unique<BoundedBfs>(n));
-  }
+    : capacity_(n), num_threads_(std::max(1, num_threads)) {
+  // Scratch stays null until a worker traverses (see the class comment);
+  // only the pool is eager, and only when threads were requested.
+  scratch_.resize(num_threads_);
   if (num_threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
 }
 
+BoundedBfs& HDegreeComputer::Scratch(int t) {
+  std::unique_ptr<BoundedBfs>& slot = scratch_[t];
+  if (slot == nullptr) {
+    slot = std::make_unique<BoundedBfs>(capacity_);
+    g_scratch_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *slot;
+}
+
+uint64_t HDegreeComputer::total_scratch_allocations() {
+  return g_scratch_allocations.load(std::memory_order_relaxed);
+}
+
 uint32_t HDegreeComputer::Compute(const Graph& g, const VertexMask& alive,
                                   VertexId v, int h) {
-  return scratch_[0]->HDegree(g, alive, v, h);
+  return Scratch(0).HDegree(g, alive, v, h);
 }
 
 void HDegreeComputer::ComputeBatch(const Graph& g, const VertexMask& alive,
                                    int h, std::span<const VertexId> batch,
                                    uint32_t* out) {
   if (num_threads_ <= 1 || batch.size() < kMinParallelBatch) {
-    BoundedBfs& bfs = *scratch_[0];
+    BoundedBfs& bfs = Scratch(0);
     for (size_t i = 0; i < batch.size(); ++i) {
       out[i] = bfs.HDegree(g, alive, batch[i], h);
     }
@@ -43,7 +57,9 @@ void HDegreeComputer::ComputeBatch(const Graph& g, const VertexMask& alive,
   const size_t grain =
       std::max<size_t>(1, batch.size() / (8 * static_cast<size_t>(num_threads_)));
   for (int t = 0; t < num_threads_; ++t) {
-    BoundedBfs* bfs = scratch_[t].get();
+    // Materialize on the dispatching thread: slot t is then touched only by
+    // worker t, keeping lazy construction off the shared path.
+    BoundedBfs* bfs = &Scratch(t);
     pool_->Submit([&, bfs, cursor, grain] {
       for (;;) {
         size_t lo = cursor->fetch_add(grain);
@@ -71,17 +87,21 @@ void HDegreeComputer::ComputeAllAlive(const Graph& g, const VertexMask& alive,
 uint32_t HDegreeComputer::CollectNeighborhood(
     const Graph& g, const VertexMask& alive, VertexId v, int h,
     std::vector<std::pair<VertexId, int>>* out) {
-  return scratch_[0]->CollectNeighborhood(g, alive, v, h, out);
+  return Scratch(0).CollectNeighborhood(g, alive, v, h, out);
 }
 
 uint64_t HDegreeComputer::total_visited() const {
   uint64_t total = 0;
-  for (const auto& s : scratch_) total += s->total_visited();
+  for (const auto& s : scratch_) {
+    if (s != nullptr) total += s->total_visited();
+  }
   return total;
 }
 
 void HDegreeComputer::ResetStats() {
-  for (auto& s : scratch_) s->ResetStats();
+  for (auto& s : scratch_) {
+    if (s != nullptr) s->ResetStats();
+  }
 }
 
 }  // namespace hcore

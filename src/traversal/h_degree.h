@@ -10,6 +10,7 @@
 #ifndef HCORE_TRAVERSAL_H_DEGREE_H_
 #define HCORE_TRAVERSAL_H_DEGREE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -23,12 +24,27 @@
 namespace hcore {
 
 /// Computes h-degrees over alive-masked subgraphs, optionally in parallel.
+///
+/// The per-worker BoundedBfs scratch (two O(n) arrays each) is allocated
+/// lazily, on the first traversal a worker actually runs: callers that only
+/// construct a computer — the classic h = 1 decomposition, whose engine
+/// fast path walks adjacency directly — pay nothing.
 class HDegreeComputer {
  public:
   /// `num_threads` <= 1 selects the sequential path (no pool is created).
+  /// `n` only sizes scratch when it is eventually materialized.
   HDegreeComputer(VertexId n, int num_threads);
 
   int num_threads() const { return num_threads_; }
+
+  /// Raises the vertex capacity used to size lazily-created scratch.
+  /// Existing scratch grows on its next traversal (BoundedBfs::Run ensures
+  /// capacity per call); this only keeps future allocations right-sized.
+  void EnsureCapacity(VertexId n) { capacity_ = std::max(capacity_, n); }
+
+  /// Process-wide count of BoundedBfs scratch materializations, for tests
+  /// and telemetry asserting that h = 1 fast paths never allocate scratch.
+  static uint64_t total_scratch_allocations();
 
   /// h-degree of one vertex (runs on the calling thread).
   uint32_t Compute(const Graph& g, const VertexMask& alive, VertexId v, int h);
@@ -54,8 +70,12 @@ class HDegreeComputer {
   void ResetStats();
 
  private:
+  /// Materializes (on the calling thread) and returns worker `t`'s scratch.
+  BoundedBfs& Scratch(int t);
+
+  VertexId capacity_;
   int num_threads_;
-  std::vector<std::unique_ptr<BoundedBfs>> scratch_;  // one per worker
+  std::vector<std::unique_ptr<BoundedBfs>> scratch_;  // one per worker, lazy
   std::unique_ptr<ThreadPool> pool_;
 };
 

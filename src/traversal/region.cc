@@ -1,0 +1,90 @@
+#include "traversal/region.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hcore {
+
+CandidateRegion RegionFinder::Find(const Graph& g,
+                                   std::span<const EdgeEdit> edits, int h,
+                                   const std::vector<uint32_t>& old_core,
+                                   uint32_t bound, bool strict,
+                                   uint32_t hdeg_gate, size_t max_region) {
+  CandidateRegion out;
+  const VertexId n = g.num_vertices();
+  HCORE_CHECK(h >= 1);
+  HCORE_CHECK(old_core.size() == n);
+  if (n == 0 || edits.empty()) return out;
+  all_alive_.Assign(n, true);
+  if (state_.size() < n) state_.resize(n, 0);
+  const uint64_t visited_before =
+      bfs_.total_visited() + gate_bfs_.total_visited();
+
+  // Per-vertex level filter (see the file comment in region.h). The
+  // h-degree gate costs one bounded BFS, so it runs last — on a dedicated
+  // scratch instance, because the filter is evaluated from inside the
+  // seed/expansion BFS visitors and bfs_ is mid-run there.
+  auto could_change = [&](VertexId x) {
+    if (strict ? old_core[x] >= bound : old_core[x] > bound) return false;
+    if (hdeg_gate == 0 || old_core[x] < hdeg_gate) return true;
+    return gate_bfs_.HDegree(g, all_alive_, x, h) >= hdeg_gate;
+  };
+
+  bool overflow = false;
+  auto add_region = [&](VertexId x) {
+    if (overflow || state_[x] == 1) return;
+    if (out.region.size() >= max_region) {
+      overflow = true;
+      return;
+    }
+    // The filter is fixed, so a vertex marked boundary (filter failure)
+    // never flips to region; only untouched vertices land here.
+    state_[x] = 1;
+    out.region.push_back(x);
+  };
+
+  // Seeds: filter-passing vertices within distance h-1 of an edited
+  // endpoint (cause (a) of the cascade), endpoints included.
+  for (const EdgeEdit& e : edits) {
+    HCORE_DCHECK(e.u < n && e.v < n && e.u != e.v);
+    for (const VertexId s : {e.u, e.v}) {
+      if (could_change(s)) add_region(s);
+      if (overflow) break;
+      bfs_.Run(g, all_alive_, s, h - 1, [&](VertexId x, int) {
+        if (could_change(x)) add_region(x);
+      });
+      if (overflow) break;
+    }
+    if (overflow) break;
+  }
+
+  // Chain closure (cause (b)): depth-h expansion from every accepted
+  // vertex. Filter-failing visits become the pinned boundary; together the
+  // expansions cover all of N_h(region) \ region.
+  for (size_t i = 0; i < out.region.size() && !overflow; ++i) {
+    bfs_.Run(g, all_alive_, out.region[i], h, [&](VertexId x, int) {
+      if (state_[x] != 0) return;  // classified once; the filter is fixed
+      if (could_change(x)) {
+        add_region(x);
+      } else {
+        state_[x] = 2;
+        out.boundary.push_back(x);
+      }
+    });
+  }
+  out.visited =
+      bfs_.total_visited() + gate_bfs_.total_visited() - visited_before;
+
+  // Reset only the touched scratch entries (keeps discovery o(n)).
+  for (const VertexId x : out.region) state_[x] = 0;
+  for (const VertexId x : out.boundary) state_[x] = 0;
+  if (overflow) {
+    out.region.clear();
+    out.boundary.clear();
+    out.overflow = true;
+  }
+  return out;
+}
+
+}  // namespace hcore

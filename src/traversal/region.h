@@ -1,0 +1,106 @@
+// Candidate-region discovery for localized (k,h)-core maintenance.
+//
+// After a pure batch of edge edits (all insertions or all deletions), the
+// set of vertices whose core index changes is bounded by a cascade
+// argument. Fix a level k and let C be the (k,h)-core on the side of the
+// edit where it is larger (the post-insert core, or the pre-delete core).
+// Re-running the shrink-to-fixpoint on C in the other graph removes exactly
+// the vertices whose index crossed k, one at a time, and every removal is
+// caused either
+//
+//   (a) by an edited edge directly — the removed vertex had a <= h path
+//       through the edge inside C, so it lies within distance h-1 of one of
+//       the edge's endpoints, or
+//   (b) by an earlier removal within distance h inside C.
+//
+// So every changed vertex is linked to an edited endpoint by a chain of
+// changed vertices with hops of length <= h. In addition, each changed
+// vertex x passes a per-vertex level filter derived from the edit kind: the
+// cascade at level k needs both endpoints of some edited edge inside C, so
+// with `bound` chosen by the caller (core/incremental.cc):
+//
+//   * insertion: changes at level k need k <= min(core'(u), core'(v)), and
+//     changed vertices satisfy old_core(x) < k. The caller supplies a TRIAL
+//     bound (starting at min(old_core(u), old_core(v)) + 1) with the strict
+//     filter old_core(x) < bound, and certifies it after the region peel:
+//     the peel is exact on all levels below the bound, so if the computed
+//     min endpoint core stays below it, no higher level changed either.
+//   * deletion: changes at level k need k <= min(old_core(u), old_core(v))
+//     =: K, and cores above K cannot change at all — the old (k,h)-core for
+//     k > K contains no deleted edge in its induced subgraph, so it stays
+//     cohesive and maximality is monotone. The filter old_core(x) <= K is
+//     exact with no escalation.
+//
+// RegionFinder over-approximates the chain closure with bounded BFS: seed
+// all filter-passing vertices within distance h-1 of an edited endpoint,
+// then repeatedly expand depth-h from every accepted vertex, accepting
+// filter-passers. Visited vertices that fail the filter form the pinned
+// boundary — a superset of N_h(region) \ region, exactly the vertices whose
+// scheduled removal the localized re-peel must replay (see
+// core/incremental.h). Discovery aborts early (overflow) when the region
+// exceeds the caller's cap, which is the localized path's fallback trigger.
+
+#ifndef HCORE_TRAVERSAL_REGION_H_
+#define HCORE_TRAVERSAL_REGION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/vertex_mask.h"
+#include "graph/graph.h"
+#include "traversal/bounded_bfs.h"
+
+namespace hcore {
+
+/// Result of one candidate-region discovery.
+struct CandidateRegion {
+  /// Vertices whose core index may change (superset of the true changed
+  /// set). Empty with !overflow means the edit provably changed nothing.
+  std::vector<VertexId> region;
+  /// Vertices within distance h of the region that provably keep their old
+  /// core index; the localized peel pins them at it.
+  std::vector<VertexId> boundary;
+  /// Region exceeded the cap; region/boundary are cleared and the caller
+  /// must fall back to a whole-graph re-peel.
+  bool overflow = false;
+  /// BFS visits spent on discovery (Table-3-style accounting).
+  uint64_t visited = 0;
+};
+
+/// Reusable discovery scratch (one BFS buffer + touch flags). Not
+/// thread-safe; use one instance per updater.
+class RegionFinder {
+ public:
+  /// Discovers the candidate region for a pure batch of effective edits.
+  ///
+  /// `g` is the graph the cascade chains live in: the post-edit graph for
+  /// insertions (distances only shrank there), the PRE-edit graph for
+  /// deletions (distances only grew; its neighborhoods are a superset of
+  /// the post-edit ones, which keeps the boundary complete). `edits` must
+  /// be effective (applied, deduplicated, no self-loops); `old_core` holds
+  /// the exact pre-edit core indexes sized for `g` (vertices the batch
+  /// created score 0). A vertex passes the change filter when
+  /// old_core < bound (`strict`, insertions) or <= bound (deletions).
+  ///
+  /// `hdeg_gate` (0 = off) refines escalated insertion trials: when the
+  /// previous trial bound B was certified exact below B, a vertex can only
+  /// change if it changes below B (old_core < B) or reaches a level >= B
+  /// (new core >= B, hence h-degree in `g` >= B). Passing B as the gate
+  /// additionally requires old_core < gate OR h-degree >= gate, at the cost
+  /// of one bounded BFS per gated candidate.
+  CandidateRegion Find(const Graph& g, std::span<const EdgeEdit> edits,
+                       int h, const std::vector<uint32_t>& old_core,
+                       uint32_t bound, bool strict, uint32_t hdeg_gate,
+                       size_t max_region);
+
+ private:
+  BoundedBfs bfs_;
+  BoundedBfs gate_bfs_;  // h-degree gate runs inside bfs_'s visitors
+  VertexMask all_alive_;
+  std::vector<uint8_t> state_;  // 0 untouched, 1 region, 2 boundary
+};
+
+}  // namespace hcore
+
+#endif  // HCORE_TRAVERSAL_REGION_H_

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include "core/kh_core.h"
+#include "engine/vertex_mask.h"
 #include "graph/generators.h"
 #include "test_util.h"
+#include "traversal/h_degree.h"
 
 namespace hcore {
 namespace {
@@ -64,6 +66,26 @@ TEST(ClassicCore, TriangleWithPendant) {
   ClassicCoreResult r = ClassicCoreDecomposition(b.Build());
   EXPECT_EQ(r.core, (std::vector<uint32_t>{2, 2, 2, 1}));
   EXPECT_EQ(r.degeneracy, 2u);
+}
+
+TEST(ClassicCore, H1FastPathAllocatesNoBfsScratch) {
+  // The h = 1 peel walks adjacency directly; the HDegreeComputer it carries
+  // must not materialize its O(n) BoundedBfs scratch (lazy allocation —
+  // the ROADMAP "Lazy BFS scratch" item).
+  Rng rng(7);
+  Graph g = gen::BarabasiAlbert(2000, 3, &rng);
+  const uint64_t before = HDegreeComputer::total_scratch_allocations();
+  ClassicCoreResult r = ClassicCoreDecomposition(g);
+  EXPECT_EQ(HDegreeComputer::total_scratch_allocations(), before);
+  EXPECT_GT(r.degeneracy, 0u);
+
+  // Sanity check the counter is live at all: one h = 2 traversal must
+  // materialize exactly one scratch instance.
+  HDegreeComputer computer(g.num_vertices(), 1);
+  EXPECT_EQ(HDegreeComputer::total_scratch_allocations(), before);
+  VertexMask alive(g.num_vertices(), true);
+  (void)computer.Compute(g, alive, 0, 2);
+  EXPECT_EQ(HDegreeComputer::total_scratch_allocations(), before + 1);
 }
 
 TEST(ClassicCore, PeelOrderIsAPermutationEndingInTheDeepestCore) {

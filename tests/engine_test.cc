@@ -235,6 +235,74 @@ bool IsPermutation(const std::vector<VertexId>& p, VertexId n) {
   return true;
 }
 
+// Policy mirroring the localized maintenance peel (core/incremental.cc):
+// region vertices peel normally, pinned vertices are scheduled removals.
+struct RegionTestPolicy : PeelPolicyBase {
+  RegionTestPolicy(const std::vector<uint8_t>& pinned,
+                   std::vector<uint32_t>* out, int h)
+      : pinned(pinned), out(out), h(h) {}
+
+  bool OnPop(VertexId v, uint32_t k) {
+    if (!pinned[v]) (*out)[v] = k;
+    return true;
+  }
+  PeelAction OnNeighbor(VertexId u, int dist, uint32_t) {
+    if (pinned[u]) return PeelAction::kSkip;
+    return dist < h ? PeelAction::kRecompute : PeelAction::kDecrement;
+  }
+
+  const std::vector<uint8_t>& pinned;
+  std::vector<uint32_t>* out;
+  int h;
+};
+
+TEST(PeelingEngine, PeelRegionWithPinnedBoundaryMatchesFullRun) {
+  // Pin everything within distance h of an arbitrary region at its TRUE
+  // core index and re-peel only the region, rest of the graph dead: the
+  // PeelRegion entry point must reassign every region vertex its exact
+  // core. (The graph is unchanged, so any region is a valid superset of
+  // the — empty — changed set; this isolates the engine mechanics from
+  // candidate-region discovery.)
+  for (int h : {1, 2, 3}) {
+    for (const RandomGraphSpec& spec : Corpus(60, 1)) {
+      Graph g = MakeRandomGraph(spec);
+      const VertexId n = g.num_vertices();
+      KhCoreOptions opts;
+      opts.h = h;
+      const std::vector<uint32_t> truth = KhCoreDecomposition(g, opts).core;
+
+      std::vector<VertexId> region;
+      for (VertexId v = spec.seed % 3; v < n; v += 3) region.push_back(v);
+      std::vector<uint8_t> in_region(n, 0);
+      for (VertexId v : region) in_region[v] = 1;
+      VertexMask mask(n, false);
+      std::vector<uint8_t> pinned(n, 0);
+      std::vector<VertexId> boundary;
+      VertexMask all(n, true);
+      BoundedBfs bfs(n);
+      for (VertexId v : region) {
+        mask.Revive(v);
+        bfs.Run(g, all, v, h, [&](VertexId u, int) {
+          if (!in_region[u] && !pinned[u]) {
+            pinned[u] = 1;
+            boundary.push_back(u);
+          }
+        });
+      }
+      for (VertexId b : boundary) mask.Revive(b);
+
+      HDegreeComputer degrees(n, 1);
+      PeelingEngine engine(g, h, &mask, &degrees, n > 0 ? n : 1);
+      std::vector<uint32_t> out(n, 0xDEADu);
+      RegionTestPolicy policy(pinned, &out, h);
+      engine.PeelRegion(region, boundary, truth, policy);
+      for (VertexId v : region) {
+        ASSERT_EQ(out[v], truth[v]) << spec.Name() << " h=" << h << " v=" << v;
+      }
+    }
+  }
+}
+
 TEST(Ordering, DegreeDescendingIsSortedPermutation) {
   for (const auto& spec : Corpus(50, 1)) {
     Graph g = MakeRandomGraph(spec);
@@ -302,6 +370,61 @@ TEST(Ordering, MeanNeighborGapSeparatesScrambledFromLocalIds) {
   // Degenerate inputs.
   EXPECT_EQ(MeanNeighborGapFraction(Graph()), 0.0);
   EXPECT_EQ(MeanNeighborGapFraction(path, 0), 0.0);
+}
+
+// Per-component scoring (the kAuto fix for disconnected graphs): gaps are
+// judged against the component they live in, not the global vertex count.
+
+TEST(Ordering, PerComponentGapFlagsScrambledComponentBlocks) {
+  // 8 components of 8192 vertices, each occupying a contiguous id block but
+  // scrambled WITHIN its block. The historical global statistic scored this
+  // ~ (8192/3) / 65536 ≈ 0.04 — "well ordered" — even though every BFS
+  // walk thrashes; per-component scoring sees ~1/3 per block.
+  constexpr VertexId kBlock = 8192;
+  constexpr VertexId kBlocks = 8;
+  Rng rng(41);
+  GraphBuilder b(kBlock * kBlocks);
+  for (VertexId c = 0; c < kBlocks; ++c) {
+    std::vector<VertexId> ids(kBlock);
+    std::iota(ids.begin(), ids.end(), c * kBlock);
+    for (VertexId i = kBlock; i > 1; --i) {
+      std::swap(ids[i - 1], ids[rng.NextIndex(i)]);
+    }
+    for (VertexId i = 0; i + 1 < kBlock; ++i) b.AddEdge(ids[i], ids[i + 1]);
+  }
+  Graph g = b.Build();
+  EXPECT_GT(MeanNeighborGapFraction(g), 0.15);
+  EXPECT_FALSE(ResolveVertexOrdering(g, VertexOrdering::kAuto).empty());
+}
+
+TEST(Ordering, HashedIdMultiComponentRelabels) {
+  // 64 small paths under one global hashed permutation: every component's
+  // ids are scattered across the whole range, so each component is smaller
+  // than the locality window but its gaps span the graph. kAuto must
+  // relabel (BFS order makes each component id-contiguous again).
+  constexpr VertexId kComponents = 64;
+  constexpr VertexId kSize = 256;
+  GraphBuilder b(kComponents * kSize);
+  for (VertexId c = 0; c < kComponents; ++c) {
+    for (VertexId i = 0; i + 1 < kSize; ++i) {
+      b.AddEdge(c * kSize + i, c * kSize + i + 1);
+    }
+  }
+  Graph contiguous = b.Build();
+  Rng rng(43);
+  std::vector<VertexId> perm(contiguous.num_vertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (VertexId i = contiguous.num_vertices(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextIndex(i)]);
+  }
+  Graph hashed = contiguous.Relabeled(perm);
+  EXPECT_GT(MeanNeighborGapFraction(hashed), 0.15);
+  EXPECT_FALSE(ResolveVertexOrdering(hashed, VertexOrdering::kAuto).empty());
+  // The same components in contiguous generator order stay unrelabeled:
+  // every gap is tiny against the locality window.
+  EXPECT_LT(MeanNeighborGapFraction(contiguous), 0.15);
+  EXPECT_TRUE(
+      ResolveVertexOrdering(contiguous, VertexOrdering::kAuto).empty());
 }
 
 class OrderingInvariance

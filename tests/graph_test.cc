@@ -214,6 +214,36 @@ TEST(GraphWithEdits, InsertGrowsTheVertexSet) {
   EXPECT_EQ(next.degree(5), 0u);
 }
 
+TEST(GraphWithEdits, OutOfRangeAndSentinelIdsAreSafeNoOps) {
+  // Regression: growing inserts mixed with deletes naming vertices the
+  // graph does not have (yet), plus the kInvalidVertex sentinel whose +1
+  // wraps to 0, must all be clean no-ops — ids are guarded against old_n
+  // before the edge set is consulted.
+  Graph g = gen::Path(5);  // vertices 0..4
+  std::vector<EdgeEdit> edits = {
+      EdgeEdit::Insert(4, 9),                // grows the graph to 10
+      EdgeEdit::Delete(7, 8),                // out of range: deletes nothing
+      EdgeEdit::Delete(2, 9),                // 9 exists only after the batch
+      EdgeEdit::Delete(11, 3),               // out of range either way
+      EdgeEdit::Insert(3, kInvalidVertex),   // sentinel id: dropped
+      EdgeEdit::Delete(kInvalidVertex, 0),   // sentinel id: dropped
+      EdgeEdit::Insert(6, 12),               // superseded by ...
+      EdgeEdit::Delete(6, 12),               // ... this delete: no growth
+  };
+  EdgeEditSummary summary;
+  std::vector<EdgeEdit> effective;
+  Graph next = g.WithEdits(edits, &summary, &effective);
+  EXPECT_EQ(summary.inserts, 1u);
+  EXPECT_EQ(summary.deletes, 0u);
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_TRUE(effective[0].insert);
+  EXPECT_EQ(effective[0].u, 4u);
+  EXPECT_EQ(effective[0].v, 9u);
+  EXPECT_EQ(next.num_vertices(), 10u);
+  EXPECT_EQ(next.num_edges(), g.num_edges() + 1);
+  EXPECT_TRUE(next.HasEdge(4, 9));
+}
+
 TEST(GraphWithEdits, RandomBatchesMatchBuilderReference) {
   for (const RandomGraphSpec& spec : Corpus(60, 2)) {
     Graph g = MakeRandomGraph(spec);

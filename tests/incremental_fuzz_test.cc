@@ -1,0 +1,285 @@
+// Randomized equivalence fuzzing for localized dynamic (k,h)-core
+// maintenance: 200+ insert/delete/mixed sequences through DynamicKhCore and
+// batched sequences through HCoreIndex::ApplyBatch, asserting exact
+// equality with a fresh decomposition after EVERY step and that the
+// localized/fallback counters always account for every applied update
+// (DynamicKhCore) / every dirty level (HCoreIndex). Region caps are swept
+// so the localized path, the overflow fallback, and the disabled path are
+// all exercised. A final test drives concurrent snapshot readers during
+// localized updates (the TSan CI leg runs this suite).
+
+#include "core/incremental.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "index/hcore_index.h"
+#include "test_util.h"
+
+namespace hcore {
+namespace {
+
+using ::hcore::testing::Corpus;
+using ::hcore::testing::MakeRandomGraph;
+using ::hcore::testing::RandomGraphSpec;
+
+std::vector<uint32_t> FreshCores(const Graph& g, int h) {
+  KhCoreOptions opts;
+  opts.h = h;
+  return KhCoreDecomposition(g, opts).core;
+}
+
+enum class EditMode { kInsertOnly, kDeleteOnly, kMixed };
+
+/// One fuzz sequence: random edits against a DynamicKhCore, cross-checked
+/// against a fresh decomposition at every step. Adds the number of applied
+/// updates to `*applied_out` (void return: gtest ASSERTs live here).
+void RunDynamicSequence(const RandomGraphSpec& spec, int h, EditMode mode,
+                        const LocalizedUpdateOptions& localized, int steps,
+                        uint64_t* applied_out = nullptr) {
+  Graph g = MakeRandomGraph(spec);
+  KhCoreOptions opts;
+  opts.h = h;
+  DynamicKhCore dyn(g, opts, localized);
+  Rng rng(spec.seed * 9176 + static_cast<uint64_t>(h) * 131 +
+          static_cast<uint64_t>(mode));
+  uint64_t applied = 0;
+  for (int step = 0; step < steps; ++step) {
+    const VertexId n = dyn.graph().num_vertices();
+    const bool insert = mode == EditMode::kInsertOnly ||
+                        (mode == EditMode::kMixed && rng.NextBool(0.5));
+    bool ok = false;
+    if (insert) {
+      // +2 occasionally grows the vertex set through an update.
+      ok = dyn.InsertEdge(rng.NextIndex(n + 2), rng.NextIndex(n + 2));
+    } else {
+      auto edges = dyn.graph().Edges();
+      if (edges.empty()) continue;
+      auto [u, v] = edges[rng.NextIndex(static_cast<uint32_t>(edges.size()))];
+      ok = dyn.DeleteEdge(u, v);
+    }
+    if (ok) ++applied;
+    const std::vector<uint32_t> fresh = FreshCores(dyn.graph(), h);
+    ASSERT_EQ(dyn.result().core, fresh)
+        << spec.Name() << " h=" << h << " mode=" << static_cast<int>(mode)
+        << " step=" << step;
+    uint32_t degeneracy = 0;
+    for (uint32_t c : fresh) degeneracy = std::max(degeneracy, c);
+    ASSERT_EQ(dyn.result().degeneracy, degeneracy);
+    // Every applied update was served by exactly one of the two paths.
+    ASSERT_EQ(dyn.localized_updates() + dyn.fallback_repeels(), applied);
+  }
+  if (applied_out != nullptr) *applied_out += applied;
+}
+
+TEST(DynamicFuzz, LocalizedPathMatchesFreshRunsAcrossEditModes) {
+  // 162 sequences; graphs are small enough (region always under the
+  // default cap) that every update must take the localized path.
+  uint64_t applied = 0;
+  for (const RandomGraphSpec& spec : Corpus(36, 3)) {
+    for (int h : {1, 2, 3}) {
+      for (EditMode mode :
+           {EditMode::kInsertOnly, EditMode::kDeleteOnly, EditMode::kMixed}) {
+        LocalizedUpdateOptions localized_opts;  // defaults
+        RunDynamicSequence(spec, h, mode, localized_opts, 8, &applied);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+  EXPECT_GT(applied, 500u);
+}
+
+TEST(DynamicFuzz, TinyRegionCapForcesFallbackMixture) {
+  // 36 sequences under a 4-vertex region cap: overflow is common, so both
+  // the localized path and the warm fallback serve updates — and both must
+  // stay exact. (The counter-sum assertion runs inside the sequence.)
+  for (const RandomGraphSpec& spec : Corpus(36, 2)) {
+    for (int h : {1, 2, 3}) {
+      LocalizedUpdateOptions tiny;
+      tiny.max_region_fraction = 0.0;
+      tiny.min_region_cap = 4;
+      RunDynamicSequence(spec, h, EditMode::kMixed, tiny, 8);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(DynamicFuzz, DisabledLocalizedPathStillExactAndCounted) {
+  // 12 sequences with the localized path off: pure warm fallback.
+  for (const RandomGraphSpec& spec : Corpus(36, 2)) {
+    LocalizedUpdateOptions off;
+    off.enable = false;
+    Graph g = MakeRandomGraph(spec);
+    KhCoreOptions opts;
+    opts.h = 2;
+    DynamicKhCore dyn(g, opts, off);
+    RunDynamicSequence(spec, 2, EditMode::kMixed, off, 6);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(DynamicFuzz, DefaultCapKeepsSmallGraphUpdatesFullyLocalized) {
+  // On a 36-vertex graph the default cap (min_region_cap = 64) can never
+  // overflow: all applied updates must report localized, none fallback.
+  RandomGraphSpec spec{"ba", 36, 5};
+  Graph g = MakeRandomGraph(spec);
+  KhCoreOptions opts;
+  opts.h = 2;
+  DynamicKhCore dyn(g, opts);
+  Rng rng(77);
+  uint64_t applied = 0;
+  for (int step = 0; step < 16; ++step) {
+    const VertexId n = dyn.graph().num_vertices();
+    if (rng.NextBool(0.5)) {
+      applied += dyn.InsertEdge(rng.NextIndex(n), rng.NextIndex(n)) ? 1 : 0;
+    } else {
+      auto edges = dyn.graph().Edges();
+      auto [u, v] = edges[rng.NextIndex(static_cast<uint32_t>(edges.size()))];
+      applied += dyn.DeleteEdge(u, v) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(applied, 0u);
+  EXPECT_EQ(dyn.localized_updates(), applied);
+  EXPECT_EQ(dyn.fallback_repeels(), 0u);
+  EXPECT_EQ(dyn.result().core, FreshCores(dyn.graph(), 2));
+}
+
+/// A deterministic random edit batch against the current graph.
+std::vector<EdgeEdit> RandomBatch(const Graph& g, Rng* rng, int inserts,
+                                  int deletes) {
+  std::vector<EdgeEdit> batch;
+  const VertexId n = g.num_vertices();
+  for (int i = 0; i < inserts; ++i) {
+    batch.push_back(EdgeEdit::Insert(rng->NextIndex(n), rng->NextIndex(n)));
+  }
+  auto edges = g.Edges();
+  for (int i = 0; i < deletes && !edges.empty(); ++i) {
+    auto [u, v] = edges[rng->NextIndex(static_cast<uint32_t>(edges.size()))];
+    batch.push_back(EdgeEdit::Delete(u, v));
+  }
+  return batch;
+}
+
+TEST(IndexFuzz, ApplyBatchMatchesFreshAndLevelCountersBalance) {
+  constexpr int kMaxH = 3;
+  uint64_t total_localized = 0;
+  uint64_t total_fallback = 0;
+  for (const RandomGraphSpec& spec : Corpus(40, 2)) {
+    HCoreIndexOptions iopts;
+    iopts.max_h = kMaxH;
+    // Small caps so overflow fallback and the batch-size gate both fire on
+    // these graphs, alongside genuinely localized levels.
+    iopts.localized.max_region_fraction = 0.3;
+    iopts.localized.min_region_cap = 8;
+    iopts.localized.max_batch = 4;
+    HCoreIndex index(MakeRandomGraph(spec), iopts);
+    Rng rng(spec.seed * 523 + 11);
+    for (int round = 0; round < 6; ++round) {
+      // Cycle pure-insert, pure-delete, mixed; sizes sometimes exceed the
+      // localized batch cap.
+      const int size = 1 + static_cast<int>(rng.NextIndex(6));
+      const int kind = round % 3;
+      const int inserts = kind == 1 ? 0 : size;
+      const int deletes = kind == 0 ? 0 : size;
+      const HCoreIndexStats before = index.stats();
+      auto batch = RandomBatch(index.snapshot()->graph(), &rng, inserts,
+                               deletes);
+      const size_t applied = index.ApplyBatch(batch);
+      const HCoreIndexStats after = index.stats();
+      const uint64_t loc = after.localized_updates - before.localized_updates;
+      const uint64_t fb = after.fallback_repeels - before.fallback_repeels;
+      if (applied > 0) {
+        // Every dirty level was served by exactly one of the two paths.
+        ASSERT_EQ(loc + fb, static_cast<uint64_t>(kMaxH))
+            << spec.Name() << " round=" << round;
+      } else {
+        ASSERT_EQ(loc + fb, 0u);
+      }
+      total_localized += loc;
+      total_fallback += fb;
+      auto snap = index.snapshot();
+      for (int h = 1; h <= kMaxH; ++h) {
+        ASSERT_EQ(snap->Cores(h), FreshCores(snap->graph(), h))
+            << spec.Name() << " round=" << round << " h=" << h;
+        uint32_t degeneracy = 0;
+        for (uint32_t c : snap->Cores(h)) {
+          degeneracy = std::max(degeneracy, c);
+        }
+        ASSERT_EQ(snap->Degeneracy(h), degeneracy);
+      }
+    }
+  }
+  // The sweep genuinely exercised both paths.
+  EXPECT_GT(total_localized, 0u);
+  EXPECT_GT(total_fallback, 0u);
+}
+
+TEST(IndexFuzz, ConcurrentSnapshotReadersDuringLocalizedUpdates) {
+  Rng rng(19);
+  Graph g = gen::PlantedPartition(4, 30, 0.4, 0.03, &rng);
+  HCoreIndexOptions iopts;
+  iopts.max_h = 3;  // default localized caps: single edits stay localized
+  HCoreIndex index(g, iopts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> failed{false};
+  auto reader = [&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snap = index.snapshot();
+      const uint64_t epoch = snap->epoch();
+      const VertexId n = snap->graph().num_vertices();
+      for (VertexId v = 0; v < n; v += 5) {
+        std::vector<uint32_t> s = snap->Spectrum(v);
+        for (size_t i = 1; i < s.size(); ++i) {
+          if (s[i - 1] > s[i]) failed.store(true);
+        }
+      }
+      for (int h = 1; h <= 3; ++h) {
+        if (snap->Cores(h).size() != n) failed.store(true);
+      }
+      (void)snap->Hierarchy(2);
+      if (snap->epoch() != epoch) failed.store(true);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) readers.emplace_back(reader);
+
+  Rng update_rng(23);
+  uint64_t applied = 0;
+  for (int step = 0; step < 40; ++step) {
+    auto snap = index.snapshot();
+    const VertexId n = snap->graph().num_vertices();
+    if (update_rng.NextBool(0.5)) {
+      applied += index.InsertEdge(update_rng.NextIndex(n),
+                                  update_rng.NextIndex(n))
+                     ? 1
+                     : 0;
+    } else {
+      auto edges = snap->graph().Edges();
+      if (edges.empty()) continue;
+      auto [u, v] =
+          edges[update_rng.NextIndex(static_cast<uint32_t>(edges.size()))];
+      applied += index.DeleteEdge(u, v) ? 1 : 0;
+    }
+  }
+  while (reads.load(std::memory_order_relaxed) < 50) {
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(applied, 0u);
+  // Single-edge updates on a graph this size are served localized.
+  EXPECT_GT(index.stats().localized_updates, 0u);
+  auto snap = index.snapshot();
+  for (int h = 1; h <= 3; ++h) {
+    EXPECT_EQ(snap->Cores(h), FreshCores(snap->graph(), h));
+  }
+}
+
+}  // namespace
+}  // namespace hcore

@@ -20,6 +20,23 @@ using ::hcore::testing::Corpus;
 using ::hcore::testing::MakeRandomGraph;
 using ::hcore::testing::RandomGraphSpec;
 
+TEST(HDegreeComputer, ScratchMaterializesLazilyAndIsReused) {
+  Graph g = gen::Cycle(8);
+  VertexMask alive(8, true);
+  const uint64_t before = HDegreeComputer::total_scratch_allocations();
+  HDegreeComputer computer(8, 1);
+  // Construction allocates nothing (the h = 1 fast paths rely on this).
+  EXPECT_EQ(HDegreeComputer::total_scratch_allocations(), before);
+  EXPECT_EQ(computer.Compute(g, alive, 0, 2), 4u);
+  EXPECT_EQ(HDegreeComputer::total_scratch_allocations(), before + 1);
+  // Subsequent traversals reuse the materialized scratch.
+  EXPECT_EQ(computer.Compute(g, alive, 1, 2), 4u);
+  std::vector<std::pair<VertexId, int>> nbhd;
+  EXPECT_EQ(computer.CollectNeighborhood(g, alive, 2, 1, &nbhd), 2u);
+  EXPECT_EQ(HDegreeComputer::total_scratch_allocations(), before + 1);
+  EXPECT_GT(computer.total_visited(), 0u);
+}
+
 TEST(BoundedBfs, PathDepthTruncation) {
   Graph g = gen::Path(10);
   BoundedBfs bfs(10);

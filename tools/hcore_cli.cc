@@ -363,7 +363,7 @@ void PrintServeStats(const HCoreIndex& index) {
   std::printf(
       "epoch=%llu n=%u m=%llu h_max=%d\n"
       "csr_rebuilds=%llu batches=%llu edits=%llu level_runs=%llu "
-      "levels_unchanged=%llu\n"
+      "levels_unchanged=%llu localized=%llu fallback_repeels=%llu\n"
       "bfs_visits=%llu hdeg_computations=%llu decrements=%llu "
       "decomposition_seconds=%.3f\n",
       static_cast<unsigned long long>(snap->epoch()),
@@ -374,6 +374,8 @@ void PrintServeStats(const HCoreIndex& index) {
       static_cast<unsigned long long>(s.edits_applied),
       static_cast<unsigned long long>(s.level_decompositions),
       static_cast<unsigned long long>(s.levels_unchanged),
+      static_cast<unsigned long long>(s.localized_updates),
+      static_cast<unsigned long long>(s.fallback_repeels),
       static_cast<unsigned long long>(s.decomposition.visited_vertices),
       static_cast<unsigned long long>(s.decomposition.hdegree_computations),
       static_cast<unsigned long long>(s.decomposition.decrement_updates),
