@@ -1,0 +1,200 @@
+// Sharded serving tier throughput: point queries and cross-shard
+// component queries vs shard count.
+//
+// Builds a ShardedHCoreService over a large clustered graph (1M vertices
+// under --full, 100k at quick scale) for shard counts {1, 2, 4, 8} and
+// measures, with several client threads hammering each configuration:
+//
+//   * POINT throughput: core/spectrum lookups routed to the owning shard.
+//     Expected to scale with shards — each shard snapshot has its own lazy
+//     caches and lock domains, so readers stop contending.
+//   * SCATTER-GATHER throughput: component queries at the graph's
+//     degeneracy level (small, clique-like components). Expected to PAY
+//     EXTRA as shards grow: every query scatters over all N shards and
+//     merges across the cut edges, so per-query cost rises with N — the
+//     documented price of cross-shard queries (README "Sharded serving").
+//
+// --json=PATH writes the rows as a JSON artifact (BENCH_serve.json in CI,
+// uploaded next to BENCH_incremental.json).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/sharded_service.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hcore;
+
+constexpr int kClientThreads = 4;
+
+struct Row {
+  int shards = 0;
+  VertexId n = 0;
+  uint64_t m = 0;
+  size_t cut_edges = 0;
+  double build_s = 0.0;
+  double point_qps = 0.0;
+  double component_qps = 0.0;
+  double component_ms = 0.0;
+};
+
+/// Runs `body(thread_id, rng)` from kClientThreads threads for `per_thread`
+/// iterations each and returns aggregate queries/second.
+template <typename Body>
+double Hammer(int per_thread, uint64_t seed, const Body& body) {
+  std::atomic<uint64_t> done{0};
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(seed + static_cast<uint64_t>(t) * 7717);
+      for (int i = 0; i < per_thread; ++i) {
+        body(t, &rng);
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double seconds = timer.ElapsedSeconds();
+  return seconds > 0 ? static_cast<double>(done.load()) / seconds : 0.0;
+}
+
+void WriteJson(const char* path, VertexId n, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve_scatter\",\n  \"n\": %u,\n"
+               "  \"client_threads\": %d,\n  \"rows\": [\n",
+               n, kClientThreads);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %d, \"cut_edges\": %zu, \"build_s\": %.3f, "
+        "\"point_qps\": %.0f, \"component_qps\": %.1f, "
+        "\"component_ms\": %.3f}%s\n",
+        r.shards, r.cut_edges, r.build_s, r.point_qps, r.component_qps,
+        r.component_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+/// Heterogeneous clustered serving substrate (same shape as the
+/// incremental ablation's stream graph): communities of varying size
+/// (8..72) and density plus sparse random bridges, so degeneracy-level
+/// components are community-sized and the hash partition cuts every
+/// community across shards.
+Graph Clustered(VertexId n, Rng* rng) {
+  GraphBuilder b(n);
+  VertexId v = 0;
+  while (v < n) {
+    VertexId size = 8 + rng->NextIndex(65);
+    if (v + size > n) size = n - v;
+    const double p = std::min(1.0, (4.0 + 8.0 * rng->NextDouble()) / size);
+    for (VertexId i = 0; i < size; ++i) {
+      for (VertexId j = i + 1; j < size; ++j) {
+        if (rng->NextBool(p)) b.AddEdge(v + i, v + j);
+      }
+    }
+    v += size;
+  }
+  for (VertexId e = 0; e < n / 32; ++e) {
+    b.AddEdge(rng->NextIndex(n), rng->NextIndex(n));
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  bench::PrintHeader("Sharded serving: point vs scatter-gather throughput");
+
+  // Clustered substrate: collaboration-style graph whose innermost cores
+  // are clique-sized, so degeneracy-level component queries return small
+  // communities (the realistic serving shape) while k = 0 components span
+  // the graph. Quick scale keeps CI affordable (the tier builds
+  // 1+2+4+8 = 15 full shard replicas below); --full runs the 1M-vertex
+  // acceptance shape, --scale=<f> scales n directly.
+  VertexId n = args.full ? 1000000 : 100000;
+  if (args.scale_override > 0.0) {
+    n = static_cast<VertexId>(1000000 * args.scale_override);
+  }
+  Rng gen_rng(41);
+  Graph g = Clustered(n, &gen_rng);
+  std::printf("graph: n=%u m=%llu  (%s)\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              args.full ? "full scale" : "quick scale");
+  std::printf("%-7s %10s %9s %12s %14s %14s\n", "shards", "cut_edges",
+              "build_s", "point_qps", "component_qps", "component_ms");
+
+  const int point_per_thread = args.full ? 200000 : 100000;
+  const int comp_per_thread = args.full ? 40 : 25;
+  std::vector<Row> rows;
+  for (int shards : {1, 2, 4, 8}) {
+    ShardedServiceOptions opts;
+    opts.num_shards = shards;
+    opts.index.max_h = 2;
+    WallTimer build_timer;
+    ShardedHCoreService service(Graph(g), opts);
+    Row row;
+    row.shards = shards;
+    row.build_s = build_timer.ElapsedSeconds();
+    auto view = service.view();
+    row.n = view->graph().num_vertices();
+    row.m = view->graph().num_edges();
+    row.cut_edges = view->cut_edges().size();
+
+    row.point_qps = Hammer(point_per_thread, 17, [&](int t, Rng* rng) {
+      const VertexId v = rng->NextIndex(row.n);
+      // Alternate core and spectrum lookups on the owner shard.
+      if ((t + static_cast<int>(v)) % 2 == 0) {
+        (void)view->CoreOf(v, 2);
+      } else {
+        (void)view->Spectrum(v);
+      }
+    });
+
+    // "My community" shape: each query asks for the component of the
+    // vertex's own innermost core, so every query pays the full
+    // scatter-gather (no empty-answer early outs) and answers are
+    // community-sized.
+    row.component_qps = Hammer(comp_per_thread, 23, [&](int, Rng* rng) {
+      const VertexId v = rng->NextIndex(row.n);
+      const uint32_t k = std::max(1u, view->CoreOf(v, 2));
+      (void)view->CoreComponentOf(v, k, 2);
+    });
+    // Mean per-query latency: each in-flight query occupies one of the
+    // kClientThreads concurrent clients, so latency = threads / throughput
+    // (NOT 1/throughput, which is wall time per completed query across all
+    // clients).
+    row.component_ms =
+        row.component_qps > 0 ? 1000.0 * kClientThreads / row.component_qps
+                              : 0;
+
+    std::printf("%-7d %10zu %9.2f %12.0f %14.1f %14.3f\n", shards,
+                row.cut_edges, row.build_s, row.point_qps, row.component_qps,
+                row.component_ms);
+    rows.push_back(row);
+  }
+
+  if (json_path != nullptr) WriteJson(json_path, n, rows);
+  return 0;
+}

@@ -74,11 +74,9 @@ Graph Graph::Relabeled(const std::vector<VertexId>& new_to_old) const {
   return Graph(std::move(offsets), std::move(adj));
 }
 
-Graph Graph::WithEdits(std::span<const EdgeEdit> edits,
-                       EdgeEditSummary* summary,
-                       std::vector<EdgeEdit>* effective) const {
+std::vector<EdgeEdit> Graph::CanonicalEffectiveEdits(
+    std::span<const EdgeEdit> edits, EdgeEditSummary* summary) const {
   const VertexId old_n = num_vertices();
-  if (effective != nullptr) effective->clear();
 
   // Normalize: canonical endpoint order, later edits of the same edge win.
   struct Keyed {
@@ -104,15 +102,7 @@ Graph Graph::WithEdits(std::span<const EdgeEdit> edits,
     return std::tie(a.u, a.v, a.seq) < std::tie(b.u, b.v, b.seq);
   });
 
-  // Effective edits as directed half-edges, dropping no-ops against the
-  // current edge set. Each touched (vertex, neighbor) pair appears once.
-  struct Half {
-    VertexId v, nbr;
-    bool insert;
-  };
-  std::vector<Half> half;
-  half.reserve(keyed.size() * 2);
-  VertexId new_n = old_n;
+  std::vector<EdgeEdit> effective;
   EdgeEditSummary counts;
   for (size_t i = 0; i < keyed.size(); ++i) {
     if (i + 1 < keyed.size() && keyed[i].u == keyed[i + 1].u &&
@@ -128,15 +118,34 @@ Graph Graph::WithEdits(std::span<const EdgeEdit> edits,
     const bool present = HasEdge(e.u, e.v);
     if (e.insert == present) continue;
     ++(e.insert ? counts.inserts : counts.deletes);
-    half.push_back({e.u, e.v, e.insert});
-    half.push_back({e.v, e.u, e.insert});
-    if (e.insert) new_n = std::max(new_n, e.v + 1);
-    if (effective != nullptr) {
-      effective->push_back(e.insert ? EdgeEdit::Insert(e.u, e.v)
-                                    : EdgeEdit::Delete(e.u, e.v));
-    }
+    effective.push_back(e.insert ? EdgeEdit::Insert(e.u, e.v)
+                                 : EdgeEdit::Delete(e.u, e.v));
   }
   if (summary != nullptr) *summary = counts;
+  return effective;
+}
+
+Graph Graph::WithEdits(std::span<const EdgeEdit> edits,
+                       EdgeEditSummary* summary,
+                       std::vector<EdgeEdit>* effective) const {
+  const VertexId old_n = num_vertices();
+  std::vector<EdgeEdit> canonical = CanonicalEffectiveEdits(edits, summary);
+
+  // Effective edits as directed half-edges (each touched (vertex, neighbor)
+  // pair appears once), plus the resulting vertex count.
+  struct Half {
+    VertexId v, nbr;
+    bool insert;
+  };
+  std::vector<Half> half;
+  half.reserve(canonical.size() * 2);
+  VertexId new_n = old_n;
+  for (const EdgeEdit& e : canonical) {
+    half.push_back({e.u, e.v, e.insert});
+    half.push_back({e.v, e.u, e.insert});
+    if (e.insert) new_n = std::max(new_n, std::max(e.u, e.v) + 1);
+  }
+  if (effective != nullptr) *effective = std::move(canonical);
   if (half.empty()) return *this;
   std::sort(half.begin(), half.end(), [](const Half& a, const Half& b) {
     return std::tie(a.v, a.nbr) < std::tie(b.v, b.nbr);

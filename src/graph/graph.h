@@ -115,6 +115,17 @@ class Graph {
                   EdgeEditSummary* summary = nullptr,
                   std::vector<EdgeEdit>* effective = nullptr) const;
 
+  /// The canonicalization half of WithEdits without the CSR splice: filters
+  /// and deduplicates `edits` against this graph (same semantics as above)
+  /// and returns the effective edits in canonical form (u < v, last edit of
+  /// an edge wins, no-ops dropped). O(|edits| log |edits|) plus one edge
+  /// probe per surviving edit — used where a consumer needs the effective
+  /// batch but another component owns the rebuild (e.g. the sharded serving
+  /// tier's cut-edge splice).
+  std::vector<EdgeEdit> CanonicalEffectiveEdits(
+      std::span<const EdgeEdit> edits,
+      EdgeEditSummary* summary = nullptr) const;
+
   /// All edges as (u, v) pairs with u < v.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
 

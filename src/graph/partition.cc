@@ -1,0 +1,62 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hcore {
+
+VertexPartition::VertexPartition(int num_shards) : num_shards_(num_shards) {
+  HCORE_CHECK(num_shards >= 1);
+}
+
+std::vector<CutEdge> ExtractCutEdges(const Graph& g,
+                                     const VertexPartition& partition) {
+  std::vector<CutEdge> cut;
+  if (partition.num_shards() == 1) return cut;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int owner = partition.ShardOf(v);
+    for (VertexId u : g.neighbors(v)) {
+      if (v < u && owner != partition.ShardOf(u)) cut.emplace_back(v, u);
+    }
+  }
+  // The v-major scan above already emits in ascending (v, u) order.
+  HCORE_DCHECK(std::is_sorted(cut.begin(), cut.end()));
+  return cut;
+}
+
+void SpliceCutEdges(std::vector<CutEdge>* cut,
+                    std::span<const EdgeEdit> effective,
+                    const VertexPartition& partition) {
+  if (partition.num_shards() == 1) return;
+  std::vector<CutEdge> added;
+  std::vector<CutEdge> removed;
+  for (const EdgeEdit& e : effective) {
+    HCORE_DCHECK(e.u < e.v);
+    if (!partition.IsCutEdge(e.u, e.v)) continue;
+    (e.insert ? added : removed).emplace_back(e.u, e.v);
+  }
+  if (added.empty() && removed.empty()) return;
+  std::sort(added.begin(), added.end());
+  std::sort(removed.begin(), removed.end());
+
+  std::vector<CutEdge> next;
+  next.reserve(cut->size() + added.size());
+  auto rem = removed.begin();
+  auto add = added.begin();
+  for (const CutEdge& e : *cut) {
+    while (add != added.end() && *add < e) next.push_back(*add++);
+    if (rem != removed.end() && *rem == e) {
+      ++rem;  // effective delete of a present cut edge
+      continue;
+    }
+    next.push_back(e);
+  }
+  next.insert(next.end(), add, added.end());
+  // Canonical effective edits guarantee every add was absent and every
+  // remove present; a leftover remove means the inputs disagreed.
+  HCORE_DCHECK(rem == removed.end());
+  *cut = std::move(next);
+}
+
+}  // namespace hcore

@@ -1,0 +1,83 @@
+// Vertex ownership partitioning for the sharded serving tier.
+//
+// A VertexPartition assigns every vertex id to one of N shards with a
+// stateless mixing hash, so ownership is stable across epochs and across
+// vertex-set growth (an insert past num_vertices() lands on a shard without
+// any rebalancing or coordination). The cut edges — edges whose endpoints
+// are owned by different shards — are the only piece of cross-shard
+// structure the scatter-gather protocol consumes (serve/sharded_service.h):
+// per-shard component summaries cover intra-shard edges, and the gather
+// side unions the summaries across exactly the cut edges.
+//
+// The cut-edge set is maintained per service epoch: extracted once from the
+// initial graph (ExtractCutEdges, one O(m) pass) and then spliced per batch
+// from the canonical effective edits (SpliceCutEdges, O(cut + batch)) —
+// never re-extracted.
+
+#ifndef HCORE_GRAPH_PARTITION_H_
+#define HCORE_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hcore {
+
+/// Stateless hash partition of the (unbounded) vertex id space into
+/// `num_shards` shards. Copyable, trivially cheap; ShardOf is pure.
+class VertexPartition {
+ public:
+  /// `num_shards` must be >= 1.
+  explicit VertexPartition(int num_shards);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Owning shard of `v`, in [0, num_shards). Defined for every id (also
+  /// ids beyond any particular graph's vertex count).
+  int ShardOf(VertexId v) const {
+    return static_cast<int>(Mix(v) % static_cast<uint64_t>(num_shards_));
+  }
+
+  /// True if edge {u, v} crosses shards under this partition.
+  bool IsCutEdge(VertexId u, VertexId v) const {
+    return ShardOf(u) != ShardOf(v);
+  }
+
+ private:
+  /// SplitMix64 finalizer (Stafford mix 13): full-avalanche, so consecutive
+  /// vertex ids spread evenly over shards regardless of labeling locality.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  int num_shards_;
+};
+
+/// A cut edge in canonical (u < v) form.
+using CutEdge = std::pair<VertexId, VertexId>;
+
+/// All edges of `g` that cross shards, canonical and sorted ascending.
+/// One O(m) pass.
+std::vector<CutEdge> ExtractCutEdges(const Graph& g,
+                                     const VertexPartition& partition);
+
+/// Advances a sorted cut-edge set across one effective edit batch: inserts
+/// that cross shards enter the set, deletes that cross shards leave it;
+/// intra-shard edits pass through untouched. `effective` must be canonical
+/// effective edits against the graph the set was extracted from (u < v,
+/// deduplicated, no no-ops — exactly what Graph::CanonicalEffectiveEdits /
+/// Graph::WithEdits report), so the splice is exact by construction.
+/// O(cut + |effective| log |effective|); sortedness is preserved.
+void SpliceCutEdges(std::vector<CutEdge>* cut,
+                    std::span<const EdgeEdit> effective,
+                    const VertexPartition& partition);
+
+}  // namespace hcore
+
+#endif  // HCORE_GRAPH_PARTITION_H_

@@ -6,27 +6,23 @@
 #include "graph/ordering.h"
 
 namespace hcore {
-namespace {
 
-void MergeStats(HCoreIndexStats* into, const HCoreIndexStats& delta) {
-  into->csr_rebuilds += delta.csr_rebuilds;
-  into->batches_applied += delta.batches_applied;
-  into->edits_applied += delta.edits_applied;
-  into->level_decompositions += delta.level_decompositions;
-  into->levels_unchanged += delta.levels_unchanged;
-  into->localized_updates += delta.localized_updates;
-  into->fallback_repeels += delta.fallback_repeels;
-  into->decomposition.visited_vertices += delta.decomposition.visited_vertices;
-  into->decomposition.hdegree_computations +=
-      delta.decomposition.hdegree_computations;
-  into->decomposition.decrement_updates +=
-      delta.decomposition.decrement_updates;
-  into->decomposition.partitions += delta.decomposition.partitions;
-  into->decomposition.seconds += delta.decomposition.seconds;
-  into->decomposition.bound_seconds += delta.decomposition.bound_seconds;
+void HCoreIndexStats::Add(const HCoreIndexStats& other) {
+  csr_rebuilds += other.csr_rebuilds;
+  batches_applied += other.batches_applied;
+  edits_applied += other.edits_applied;
+  level_decompositions += other.level_decompositions;
+  levels_unchanged += other.levels_unchanged;
+  localized_updates += other.localized_updates;
+  fallback_repeels += other.fallback_repeels;
+  decomposition.visited_vertices += other.decomposition.visited_vertices;
+  decomposition.hdegree_computations +=
+      other.decomposition.hdegree_computations;
+  decomposition.decrement_updates += other.decomposition.decrement_updates;
+  decomposition.partitions += other.decomposition.partitions;
+  decomposition.seconds += other.decomposition.seconds;
+  decomposition.bound_seconds += other.decomposition.bound_seconds;
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // HCoreSnapshot
@@ -330,7 +326,7 @@ size_t HCoreIndex::ApplyBatch(std::span<const EdgeEdit> edits) {
 
   std::lock_guard<std::mutex> lock(mu_);
   snap_ = std::move(snap);
-  MergeStats(&stats_, delta);
+  stats_.Add(delta);
   return summary.applied();
 }
 
@@ -347,6 +343,11 @@ bool HCoreIndex::DeleteEdge(VertexId u, VertexId v) {
 HCoreIndexStats HCoreIndex::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void HCoreIndex::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = HCoreIndexStats{};
 }
 
 }  // namespace hcore

@@ -80,6 +80,11 @@ struct HCoreIndexStats {
   uint64_t fallback_repeels = 0;
   /// Aggregate engine counters over every decomposition the index ran.
   KhCoreStats decomposition;
+
+  /// Field-wise accumulation — the ONE place that knows every counter
+  /// (used by the index's own delta merge and the sharded tier's
+  /// cross-shard aggregation; a new field only needs adding here).
+  void Add(const HCoreIndexStats& other);
 };
 
 /// One immutable epoch of the index. Thread-safe for concurrent readers;
@@ -196,6 +201,11 @@ class HCoreIndex {
 
   /// Cumulative cost counters (serving queries never moves them).
   HCoreIndexStats stats() const;
+
+  /// Zeroes the cumulative counters (the published snapshot and its epoch
+  /// are untouched). Lets a long-lived serving process start a fresh
+  /// measurement window — `stats reset` in the serve REPL.
+  void ResetStats();
 
  private:
   std::vector<HCoreSnapshot::Level> DecomposeAll(

@@ -1,0 +1,404 @@
+#include "serve/sharded_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/vertex_mask.h"
+#include "traversal/bounded_bfs.h"
+
+namespace hcore {
+namespace {
+
+/// Minimal union-find over dense ids (path halving + union by index).
+uint32_t Find(std::vector<uint32_t>& parent, uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void Union(std::vector<uint32_t>& parent, uint32_t a, uint32_t b) {
+  a = Find(parent, a);
+  b = Find(parent, b);
+  if (a == b) return;
+  if (a < b) std::swap(a, b);
+  parent[a] = b;  // smallest id wins: roots are deterministic
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedServiceView
+// ---------------------------------------------------------------------------
+
+ShardedServiceView::ShardedServiceView(
+    std::vector<std::shared_ptr<const HCoreSnapshot>> snaps,
+    std::vector<CutEdge> cut_edges, VertexPartition partition,
+    uint64_t service_epoch, std::shared_ptr<ThreadPool> pool)
+    : snapshots_(std::move(snaps)),
+      cut_edges_(std::move(cut_edges)),
+      partition_(partition),
+      service_epoch_(service_epoch),
+      pool_(std::move(pool)) {
+  HCORE_CHECK(!snapshots_.empty());
+  shard_epochs_.reserve(snapshots_.size());
+  for (const auto& snap : snapshots_) shard_epochs_.push_back(snap->epoch());
+  const VertexId n = graph().num_vertices();
+  owner_of_.resize(n);
+  owned_.resize(snapshots_.size());
+  for (VertexId v = 0; v < n; ++v) {
+    const int s = partition_.ShardOf(v);
+    owner_of_[v] = static_cast<uint32_t>(s);
+    owned_[s].push_back(v);
+  }
+}
+
+uint32_t ShardedServiceView::ComponentSummary::FragmentOf(VertexId v) const {
+  auto it = std::lower_bound(
+      vertex_fragment.begin(), vertex_fragment.end(), v,
+      [](const std::pair<VertexId, uint32_t>& e, VertexId x) {
+        return e.first < x;
+      });
+  if (it == vertex_fragment.end() || it->first != v) return kInvalidVertex;
+  return it->second;
+}
+
+uint32_t ShardedServiceView::MergedComponents::RootOf(
+    VertexId v, const VertexPartition& partition) const {
+  const int s = partition.ShardOf(v);
+  const uint32_t f = shard[s].FragmentOf(v);
+  if (f == kInvalidVertex) return kInvalidVertex;
+  return fragment_root[fragment_base[s] + f];
+}
+
+std::vector<VertexId> ShardedServiceView::MergedComponents::MembersOfRoot(
+    uint32_t root) const {
+  std::vector<VertexId> out;
+  for (size_t s = 0; s < shard.size(); ++s) {
+    for (const auto& [v, frag] : shard[s].vertex_fragment) {
+      if (fragment_root[fragment_base[s] + frag] == root) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ShardedServiceView::ComponentSummary ShardedServiceView::ShardFragments(
+    int s, uint32_t k, int h) const {
+  const HCoreSnapshot& snap = *snapshots_[s];
+  const Graph& g = snap.graph();
+  const std::vector<uint32_t>& core = snap.Cores(h);
+
+  ComponentSummary out;
+  // The shard's slice: owned vertices surviving at level k, ascending.
+  out.vertex_fragment.reserve(owned_[s].size());
+  for (VertexId v : owned_[s]) {
+    if (core[v] >= k) out.vertex_fragment.emplace_back(v, 0);
+  }
+  const uint32_t count = static_cast<uint32_t>(out.vertex_fragment.size());
+  std::vector<uint32_t> parent(count);
+  for (uint32_t i = 0; i < count; ++i) parent[i] = i;
+  // Intra-shard edges only; the cross-shard ones are the gather's job.
+  auto slice_index = [&out](VertexId u) {
+    auto it = std::lower_bound(
+        out.vertex_fragment.begin(), out.vertex_fragment.end(), u,
+        [](const std::pair<VertexId, uint32_t>& e, VertexId x) {
+          return e.first < x;
+        });
+    HCORE_DCHECK(it != out.vertex_fragment.end() && it->first == u);
+    return static_cast<uint32_t>(it - out.vertex_fragment.begin());
+  };
+  for (uint32_t i = 0; i < count; ++i) {
+    const VertexId v = out.vertex_fragment[i].first;
+    for (VertexId u : g.neighbors(v)) {
+      if (u >= v) break;  // each edge once; lists are sorted ascending
+      if (core[u] < k || owner_of_[u] != static_cast<uint32_t>(s)) continue;
+      Union(parent, i, slice_index(u));
+    }
+  }
+  // Rename roots to dense fragment ids, in first-vertex order.
+  std::vector<uint32_t> dense(count, kInvalidVertex);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t root = Find(parent, i);
+    if (dense[root] == kInvalidVertex) dense[root] = out.num_fragments++;
+    out.vertex_fragment[i].second = dense[root];
+  }
+  return out;
+}
+
+std::shared_ptr<const ShardedServiceView::MergedComponents>
+ShardedServiceView::Merge(uint32_t k, int h,
+                          ScatterGatherStats* stats) const {
+  const std::pair<int, uint32_t> key{h, k};
+  {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    auto it = merge_cache_.find(key);
+    if (it != merge_cache_.end()) {
+      it->second.last_used = ++merge_clock_;
+      return it->second.merged;
+    }
+  }
+  auto merged = std::make_shared<MergedComponents>();
+  // The scatter: per-shard summaries are independent, so fan them out on
+  // the tier pool (scoped wait — concurrent readers and a writer can all
+  // hold their own TaskGroups on the shared pool).
+  merged->shard.resize(num_shards());
+  {
+    TaskGroup group(pool_.get());
+    for (int s = 0; s < num_shards(); ++s) {
+      group.Run([this, s, k, h, &merged] {
+        merged->shard[s] = ShardFragments(s, k, h);
+      });
+    }
+  }
+  merged->fragment_base.reserve(num_shards());
+  uint32_t total = 0;
+  for (int s = 0; s < num_shards(); ++s) {
+    merged->fragment_base.push_back(total);
+    total += merged->shard[s].num_fragments;
+  }
+  std::vector<uint32_t> parent(total);
+  for (uint32_t i = 0; i < total; ++i) parent[i] = i;
+  // The boundary merge: one union per cut edge surviving at level k. Core
+  // membership of each endpoint is read from its OWNER's summary, so the
+  // gather never touches non-owned shard state.
+  for (const CutEdge& e : cut_edges_) {
+    const int su = static_cast<int>(owner_of_[e.first]);
+    const int sv = static_cast<int>(owner_of_[e.second]);
+    const uint32_t fu = merged->shard[su].FragmentOf(e.first);
+    if (fu == kInvalidVertex) continue;
+    const uint32_t fv = merged->shard[sv].FragmentOf(e.second);
+    if (fv == kInvalidVertex) continue;
+    Union(parent, merged->fragment_base[su] + fu,
+          merged->fragment_base[sv] + fv);
+  }
+  merged->fragment_root.resize(total);
+  for (uint32_t i = 0; i < total; ++i) {
+    merged->fragment_root[i] = Find(parent, i);
+  }
+  if (stats != nullptr) {
+    stats->shard_scatters += static_cast<uint64_t>(num_shards());
+    stats->fragments_merged += total;
+    stats->cut_edges_scanned += cut_edges_.size();
+  }
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  if (merge_cache_.size() >= kMergeCacheCap) {
+    // Evict least-recently-used, not smallest key: low-k merges are the
+    // big and frequently re-needed ones.
+    auto victim = merge_cache_.begin();
+    for (auto it = merge_cache_.begin(); it != merge_cache_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    merge_cache_.erase(victim);
+  }
+  // Merges are deterministic, so a lost insert race just adopts the
+  // winner's identical result.
+  MergeCacheEntry& entry = merge_cache_[key];
+  if (entry.merged == nullptr) entry.merged = std::move(merged);
+  entry.last_used = ++merge_clock_;
+  return entry.merged;
+}
+
+std::vector<VertexId> ShardedServiceView::CoreComponentOf(
+    VertexId v, uint32_t k, int h, ScatterGatherStats* stats) const {
+  if (stats != nullptr) ++stats->component_queries;
+  if (v >= graph().num_vertices() || CoreOf(v, h) < k) return {};
+  if (num_shards() == 1) {
+    // No boundary to merge: serve from the shard's lazily-cached
+    // hierarchy, same as the pre-sharding path (differentially identical).
+    return snapshots_.front()->CoreComponentOf(v, k, h);
+  }
+  const auto merged = Merge(k, h, stats);
+  return merged->MembersOfRoot(merged->RootOf(v, partition_));
+}
+
+CommunityResult ShardedServiceView::Community(
+    const std::vector<VertexId>& query, int h,
+    ScatterGatherStats* stats) const {
+  if (stats != nullptr) ++stats->community_queries;
+  CommunityResult out;
+  const Graph& g = graph();
+  const VertexId n = g.num_vertices();
+  if (query.empty() || n == 0) return out;
+  for (VertexId q : query) HCORE_CHECK(q < n);
+  if (num_shards() == 1) {
+    // No boundary to merge: run the single-index algorithm directly.
+    return DistanceCocktailPartyFromCores(g, query, h,
+                                          snapshots_.front()->Cores(h));
+  }
+
+  // Same optimum as DistanceCocktailPartyFromCores' downward scan — the
+  // largest k where the query shares one component of G[C_k] — found by
+  // binary search instead: togetherness is monotone as k drops (C_k only
+  // gains vertices and edges), so O(log k_hi) cross-shard merges decide
+  // it. Each level's connectivity check is the scatter-gather merge.
+  uint32_t k_hi = CoreOf(query.front(), h);
+  for (VertexId q : query) k_hi = std::min(k_hi, CoreOf(q, h));
+  auto together_at = [&](uint32_t k) {
+    const auto merged = Merge(k, h, stats);
+    const uint32_t target = merged->RootOf(query.front(), partition_);
+    bool together = target != kInvalidVertex;
+    for (VertexId q : query) {
+      together &= (merged->RootOf(q, partition_) == target);
+    }
+    return std::make_pair(together, merged);
+  };
+  // Find-last-true over [0, k_hi]; probing midpoints first means the
+  // near-full-graph k = 0 merge only ever runs when the search collapses
+  // to 0 without a single success — i.e. for queries that are split in
+  // every proper core (or infeasible outright).
+  uint32_t lo = 0;
+  uint32_t hi = k_hi;
+  std::shared_ptr<const MergedComponents> best;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo + 1) / 2;
+    auto [together, merged] = together_at(mid);
+    if (together) {
+      lo = mid;
+      best = merged;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (best == nullptr) {
+    // lo was never directly confirmed (k_hi == 0, or every probe failed).
+    auto [together, merged] = together_at(lo);
+    if (!together) return out;  // split even in C_0 = V: infeasible
+    best = merged;
+  }
+  out.feasible = true;
+  out.core_level = lo;
+  out.vertices = best->MembersOfRoot(best->RootOf(query.front(), partition_));
+  // Report the achieved objective on the returned component (identical
+  // post-pass to the single-index path).
+  VertexMask member_mask(n, out.vertices);
+  BoundedBfs bfs(n);
+  uint32_t min_deg = static_cast<uint32_t>(out.vertices.size());
+  for (VertexId v : out.vertices) {
+    min_deg = std::min(min_deg, bfs.HDegree(g, member_mask, v, h));
+  }
+  out.min_h_degree = min_deg;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedHCoreService
+// ---------------------------------------------------------------------------
+
+HCoreIndexStats ShardedServiceStats::AggregateShards() const {
+  HCoreIndexStats total;
+  for (const HCoreIndexStats& s : shard) total.Add(s);
+  return total;
+}
+
+ShardedHCoreService::ShardedHCoreService(Graph g,
+                                         const ShardedServiceOptions& options)
+    : options_(options), partition_(options.num_shards) {
+  HCORE_CHECK(options_.num_shards >= 1);
+  const int pool_threads = options_.apply_threads > 0 ? options_.apply_threads
+                                                      : options_.num_shards;
+  if (pool_threads > 1) pool_ = std::make_shared<ThreadPool>(pool_threads);
+
+  std::vector<CutEdge> cut = ExtractCutEdges(g, partition_);
+  shards_.resize(options_.num_shards);
+  {
+    // Replica construction fans out: each task copies the graph and runs
+    // the full initial decomposition for its shard.
+    TaskGroup group(pool_.get());
+    for (int s = 0; s < options_.num_shards; ++s) {
+      group.Run([this, s, &g] {
+        shards_[s] = std::make_unique<HCoreIndex>(Graph(g), options_.index);
+      });
+    }
+  }
+  std::vector<std::shared_ptr<const HCoreSnapshot>> snaps;
+  snaps.reserve(shards_.size());
+  for (const auto& shard : shards_) snaps.push_back(shard->snapshot());
+  view_.reset(new ShardedServiceView(std::move(snaps), std::move(cut),
+                                     partition_, /*service_epoch=*/0, pool_));
+}
+
+std::shared_ptr<const ShardedServiceView> ShardedHCoreService::view() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_;
+}
+
+size_t ShardedHCoreService::ApplyBatch(std::span<const EdgeEdit> edits) {
+  std::lock_guard<std::mutex> writer(update_mu_);
+  std::shared_ptr<const ShardedServiceView> prev = view();
+
+  // Canonicalize ONCE at the front door; every shard then applies the same
+  // effective batch, and the same list drives the cut-edge splice.
+  std::vector<EdgeEdit> effective =
+      prev->graph().CanonicalEffectiveEdits(edits);
+  if (effective.empty()) return 0;
+
+  {
+    TaskGroup group(pool_.get());
+    for (const auto& shard : shards_) {
+      group.Run([&shard, &effective] {
+        const size_t applied = shard->ApplyBatch(effective);
+        // Replicas apply identical effective edits to identical graphs.
+        HCORE_CHECK(applied == effective.size());
+      });
+    }
+  }
+
+  std::vector<CutEdge> cut = prev->cut_edges();
+  SpliceCutEdges(&cut, effective, partition_);
+  std::vector<std::shared_ptr<const HCoreSnapshot>> snaps;
+  snaps.reserve(shards_.size());
+  for (const auto& shard : shards_) snaps.push_back(shard->snapshot());
+  std::shared_ptr<const ShardedServiceView> next(
+      new ShardedServiceView(std::move(snaps), std::move(cut), partition_,
+                             prev->service_epoch() + 1, pool_));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  view_ = std::move(next);
+  return effective.size();
+}
+
+std::vector<VertexId> ShardedHCoreService::CoreComponentOf(VertexId v,
+                                                           uint32_t k,
+                                                           int h) const {
+  ScatterGatherStats delta;
+  std::vector<VertexId> out = view()->CoreComponentOf(v, k, h, &delta);
+  AccumulateGather(delta);
+  return out;
+}
+
+CommunityResult ShardedHCoreService::Community(
+    const std::vector<VertexId>& query, int h) const {
+  ScatterGatherStats delta;
+  CommunityResult out = view()->Community(query, h, &delta);
+  AccumulateGather(delta);
+  return out;
+}
+
+void ShardedHCoreService::AccumulateGather(
+    const ScatterGatherStats& delta) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  gather_.component_queries += delta.component_queries;
+  gather_.community_queries += delta.community_queries;
+  gather_.shard_scatters += delta.shard_scatters;
+  gather_.fragments_merged += delta.fragments_merged;
+  gather_.cut_edges_scanned += delta.cut_edges_scanned;
+}
+
+ShardedServiceStats ShardedHCoreService::stats() const {
+  ShardedServiceStats out;
+  out.shard.reserve(shards_.size());
+  for (const auto& shard : shards_) out.shard.push_back(shard->stats());
+  std::lock_guard<std::mutex> lock(mu_);
+  out.gather = gather_;
+  return out;
+}
+
+void ShardedHCoreService::ResetStats() {
+  for (const auto& shard : shards_) shard->ResetStats();
+  std::lock_guard<std::mutex> lock(mu_);
+  gather_ = ScatterGatherStats{};
+}
+
+}  // namespace hcore

@@ -1,0 +1,295 @@
+// Sharded (k,h)-core serving tier: N HCoreIndex shards behind one API.
+//
+// The ROADMAP's serving north-star needs one front door over many index
+// shards. This tier hash-partitions the vertex id space over N shards
+// (graph/partition.h) and serves three query classes:
+//
+//   * POINT queries (core, spectrum, degeneracy, densest-level tables) are
+//     routed to the owning shard and answered from that shard's immutable
+//     snapshot. Routing spreads the per-snapshot lazy-artifact builds and
+//     their mutexes over N independent indexes, so concurrent readers stop
+//     contending on a single snapshot's lazy caches.
+//   * CROSS-SHARD component/community queries run SCATTER-GATHER: every
+//     shard reports a component summary over its OWNED vertices only
+//     (fragments of the induced subgraph on owned core vertices, intra-
+//     shard edges only), and the gather side merges the fragments with a
+//     union-find seeded by exactly the cut edges (edges whose endpoints are
+//     owned by different shards). The protocol reads nothing but owned-
+//     vertex data from each shard plus the cut-edge set, so its answers are
+//     storage-partition-ready; its exactness against the single-index
+//     oracle is locked by the differential suite (tests/serve_test.cc).
+//   * ApplyBatch canonicalizes a batch once, fans the per-shard application
+//     out on the tier's thread pool (TaskGroup), splices the cut-edge set
+//     across the effective edits, and publishes a new cross-shard epoch
+//     VECTOR atomically: a reader's view pins one snapshot per shard, so
+//     concurrent readers observe either every shard after the batch or
+//     every shard before it — never a mix.
+//
+// Storage model (deliberate, documented): each shard's HCoreIndex holds a
+// full replica of the graph. Exact (k,h)-cores are a global fixpoint — a
+// vertex's core index can depend on edges arbitrarily far away — so a shard
+// serving exact point answers for its owned vertices must see the whole
+// graph; partitioned storage with exact per-shard recomputation (pinned-
+// boundary fixpoints across shards) is the open research item in ROADMAP.md.
+// The tier therefore shards SERVING state (snapshots, lazy artifacts, lock
+// domains, update work) while replicating the CSR: reads scale with shards,
+// writes cost one localized/warm maintenance pass per shard (run
+// concurrently on the pool). With 1 shard the tier degenerates to exactly
+// one HCoreIndex plus an empty cut set.
+
+#ifndef HCORE_SERVE_SHARDED_SERVICE_H_
+#define HCORE_SERVE_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "apps/community.h"
+#include "graph/partition.h"
+#include "index/hcore_index.h"
+#include "util/thread_pool.h"
+
+namespace hcore {
+
+/// Configuration for a ShardedHCoreService.
+struct ShardedServiceOptions {
+  /// Number of index shards (>= 1).
+  int num_shards = 1;
+  /// Per-shard index configuration (every shard gets the same one).
+  HCoreIndexOptions index;
+  /// Threads for the tier's own pool (shard construction and the per-shard
+  /// ApplyBatch fan-out). 0 means num_shards; 1 disables the pool. Note
+  /// this multiplies with index.base.num_threads, which each shard's
+  /// decompositions use internally.
+  int apply_threads = 0;
+};
+
+/// Gather-side work counters for the scatter-gather protocol.
+struct ScatterGatherStats {
+  /// Cross-shard queries served (component + community).
+  uint64_t component_queries = 0;
+  uint64_t community_queries = 0;
+  /// Per-shard component summaries produced across all merges.
+  uint64_t shard_scatters = 0;
+  /// Fragments reported by the scatters (union-find elements at the
+  /// gather).
+  uint64_t fragments_merged = 0;
+  /// Cut edges scanned by gather-side merges.
+  uint64_t cut_edges_scanned = 0;
+};
+
+/// Cumulative tier counters: per-shard index stats plus the gather-side
+/// protocol work.
+struct ShardedServiceStats {
+  std::vector<HCoreIndexStats> shard;
+  ScatterGatherStats gather;
+
+  /// Sum of the per-shard index counters.
+  HCoreIndexStats AggregateShards() const;
+};
+
+/// One consistent cross-shard read view: a snapshot per shard taken from
+/// ONE published epoch vector, plus that epoch's cut-edge set. Immutable
+/// and thread-safe; obtained from ShardedHCoreService::view() and valid for
+/// as long as the shared_ptr is held, across any number of updates.
+class ShardedServiceView {
+ public:
+  int num_shards() const { return static_cast<int>(snapshots_.size()); }
+  int max_h() const { return snapshots_.front()->max_h(); }
+
+  /// The tier epoch: number of effective batches applied before this view.
+  uint64_t service_epoch() const { return service_epoch_; }
+
+  /// The per-shard epoch vector this view pins. With replicated shards the
+  /// entries advance in lockstep, so they all equal service_epoch(); the
+  /// all-or-none guarantee is that a view never mixes entries from
+  /// different batches.
+  const std::vector<uint64_t>& shard_epochs() const { return shard_epochs_; }
+
+  const VertexPartition& partition() const { return partition_; }
+
+  /// This epoch's cut edges (canonical u < v, sorted).
+  const std::vector<CutEdge>& cut_edges() const { return cut_edges_; }
+
+  /// The graph at this epoch (any replica; they are identical).
+  const Graph& graph() const { return snapshots_.front()->graph(); }
+
+  /// The owning shard's snapshot for `v` — the point-query route.
+  const HCoreSnapshot& ShardFor(VertexId v) const {
+    return *snapshots_[partition_.ShardOf(v)];
+  }
+
+  /// Shard `s`'s snapshot (tests, stats aggregation).
+  const HCoreSnapshot& shard_snapshot(int s) const { return *snapshots_[s]; }
+
+  // -- Point queries (routed to the owning shard) --------------------------
+
+  uint32_t CoreOf(VertexId v, int h) const { return ShardFor(v).CoreOf(v, h); }
+
+  std::vector<uint32_t> Spectrum(VertexId v) const {
+    return ShardFor(v).Spectrum(v);
+  }
+
+  /// Global artifacts are served by a deterministic level-routed shard so
+  /// repeated queries hit the same (already-built) lazy cache.
+  uint32_t Degeneracy(int h) const { return LevelShard(h).Degeneracy(h); }
+
+  std::vector<HCoreSnapshot::LevelDensity> TopDensestLevels(
+      int h, size_t top_k) const {
+    return LevelShard(h).TopDensestLevels(h, top_k);
+  }
+
+  // -- Cross-shard scatter-gather queries ----------------------------------
+
+  /// Vertices of the connected component of the (k,h)-core containing `v`
+  /// (sorted; empty when core_h(v) < k or v is out of range) — same
+  /// contract as HCoreSnapshot::CoreComponentOf, computed by the protocol.
+  /// `stats` (optional) accumulates the gather-side work.
+  std::vector<VertexId> CoreComponentOf(VertexId v, uint32_t k, int h,
+                                        ScatterGatherStats* stats =
+                                            nullptr) const;
+
+  /// Distance-generalized cocktail-party community of `query` — same
+  /// contract as DistanceCocktailPartyFromCores, computed by a downward
+  /// level scan whose per-level connectivity check is the scatter-gather
+  /// merge.
+  CommunityResult Community(const std::vector<VertexId>& query, int h,
+                            ScatterGatherStats* stats = nullptr) const;
+
+ private:
+  friend class ShardedHCoreService;
+
+  /// One shard's contribution to a cross-shard merge: its owned vertices
+  /// with core_h >= k, each labeled with a shard-local fragment id (the
+  /// fragments are the components of the induced subgraph on those owned
+  /// vertices using intra-shard edges only).
+  struct ComponentSummary {
+    /// (vertex, fragment) pairs, ascending by vertex.
+    std::vector<std::pair<VertexId, uint32_t>> vertex_fragment;
+    uint32_t num_fragments = 0;
+
+    /// Fragment of `v` in this summary, or kInvalidVertex if absent.
+    uint32_t FragmentOf(VertexId v) const;
+  };
+
+  /// The gather result: global fragment labeling after the cut-edge merge.
+  struct MergedComponents {
+    std::vector<ComponentSummary> shard;  // one summary per shard
+    std::vector<uint32_t> fragment_base;  // global id = base[s] + local
+    std::vector<uint32_t> fragment_root;  // union-find roots, path-compressed
+
+    /// Global component root of `v`, or kInvalidVertex if v is not in the
+    /// level-k core.
+    uint32_t RootOf(VertexId v, const VertexPartition& partition) const;
+
+    /// All vertices, across every shard summary, whose merged root is
+    /// `root` — sorted ascending (the component/community answer shape).
+    std::vector<VertexId> MembersOfRoot(uint32_t root) const;
+  };
+
+  ShardedServiceView(std::vector<std::shared_ptr<const HCoreSnapshot>> snaps,
+                     std::vector<CutEdge> cut_edges, VertexPartition partition,
+                     uint64_t service_epoch, std::shared_ptr<ThreadPool> pool);
+
+  const HCoreSnapshot& LevelShard(int h) const {
+    return *snapshots_[(h - 1) % num_shards()];
+  }
+
+  /// SCATTER: shard `s`'s ComponentSummary at level (k, h).
+  ComponentSummary ShardFragments(int s, uint32_t k, int h) const;
+
+  /// GATHER: scatter every shard, then union fragments across the cut
+  /// edges whose endpoints both survive at level (k, h). Memoized per
+  /// (h, k) for the lifetime of the view (the view is immutable, so a
+  /// level's merge never changes); `stats` moves only on cache misses —
+  /// the counters report real protocol work, not hits.
+  std::shared_ptr<const MergedComponents> Merge(uint32_t k, int h,
+                                                ScatterGatherStats* stats)
+      const;
+
+  std::vector<std::shared_ptr<const HCoreSnapshot>> snapshots_;
+  std::vector<uint64_t> shard_epochs_;
+  std::vector<CutEdge> cut_edges_;
+  VertexPartition partition_;
+  uint64_t service_epoch_ = 0;
+  // Ownership is epoch-stable, so the view materializes it once (O(n))
+  // instead of re-hashing every vertex on every scatter of every level:
+  // owner_of_[v] is v's shard, owned_[s] lists s's vertices ascending.
+  std::vector<uint32_t> owner_of_;
+  std::vector<std::vector<VertexId>> owned_;
+  // Shared with the service so the scatter can fan out per shard; views
+  // may outlive the service, hence the shared ownership. Null = inline.
+  std::shared_ptr<ThreadPool> pool_;
+  // Lazily built merges, keyed by (h, k), LRU-capped (an entry can hold
+  // O(core vertices), and low levels approach n each). Guarded: views are
+  // shared by concurrent readers.
+  static constexpr size_t kMergeCacheCap = 16;
+  struct MergeCacheEntry {
+    std::shared_ptr<const MergedComponents> merged;
+    uint64_t last_used = 0;
+  };
+  mutable std::mutex merge_mu_;
+  mutable std::map<std::pair<int, uint32_t>, MergeCacheEntry> merge_cache_;
+  mutable uint64_t merge_clock_ = 0;
+};
+
+/// The serving tier. Thread-safe: any number of concurrent readers (view()
+/// plus queries on the returned view, or the convenience wrappers below);
+/// writers serialize among themselves and never block readers.
+class ShardedHCoreService {
+ public:
+  /// Builds `options.num_shards` HCoreIndex shards over `g` (replicas,
+  /// constructed concurrently on the tier pool) and publishes epoch 0.
+  explicit ShardedHCoreService(Graph g,
+                               const ShardedServiceOptions& options = {});
+
+  int num_shards() const { return options_.num_shards; }
+  int max_h() const { return options_.index.max_h; }
+
+  /// The current consistent cross-shard view (one pointer copy).
+  std::shared_ptr<const ShardedServiceView> view() const;
+
+  /// Applies one edit batch tier-wide: canonicalizes the batch against the
+  /// current epoch, fans the application out over every shard on the pool,
+  /// splices the cut-edge set, and atomically publishes the next epoch
+  /// vector. Returns the number of effective edits (0 publishes nothing).
+  /// Readers holding older views are never blocked and never see a partial
+  /// batch.
+  size_t ApplyBatch(std::span<const EdgeEdit> edits);
+
+  /// Convenience wrappers over the current view; the scatter-gather ones
+  /// accumulate protocol counters into stats().
+  uint32_t CoreOf(VertexId v, int h) const { return view()->CoreOf(v, h); }
+  std::vector<VertexId> CoreComponentOf(VertexId v, uint32_t k, int h) const;
+  CommunityResult Community(const std::vector<VertexId>& query, int h) const;
+
+  /// Cumulative per-shard and gather-side counters.
+  ShardedServiceStats stats() const;
+
+  /// Zeroes every shard's counters and the gather-side counters (epochs and
+  /// published views are untouched) — `stats reset` in the serve REPL.
+  void ResetStats();
+
+ private:
+  void AccumulateGather(const ScatterGatherStats& delta) const;
+
+  ShardedServiceOptions options_;
+  VertexPartition partition_;
+  std::vector<std::unique_ptr<HCoreIndex>> shards_;
+  // Shared fan-out pool: shard construction, per-shard batch application,
+  // and the views' read-side scatters (TaskGroup keeps waits scoped).
+  std::shared_ptr<ThreadPool> pool_;
+  std::mutex update_mu_;              // serializes writers
+  mutable std::mutex mu_;             // guards view_ swap and gather_
+  std::shared_ptr<const ShardedServiceView> view_;
+  mutable ScatterGatherStats gather_;
+};
+
+}  // namespace hcore
+
+#endif  // HCORE_SERVE_SHARDED_SERVICE_H_

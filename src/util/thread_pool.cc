@@ -80,6 +80,27 @@ void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
   Wait();
 }
 
+void TaskGroup::Run(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--pending_ == 0) done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
 void MaybeParallelFor(ThreadPool* pool, uint64_t begin, uint64_t end,
                       uint64_t grain,
                       const std::function<void(uint64_t)>& body) {

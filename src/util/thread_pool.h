@@ -61,6 +61,36 @@ class ThreadPool {
 void MaybeParallelFor(ThreadPool* pool, uint64_t begin, uint64_t end,
                       uint64_t grain, const std::function<void(uint64_t)>& body);
 
+/// A scoped fan-out of tasks onto a shared pool. Unlike ThreadPool::Wait —
+/// which blocks until the WHOLE pool drains, so two clients sharing a pool
+/// would wait on each other's work — Wait() here blocks only until this
+/// group's own tasks finish. Used by the sharded serving tier, where the
+/// batch-apply fan-out shares the pool with shard construction.
+///
+/// With a null pool, Run executes the task inline (degenerate but valid).
+/// The destructor waits for any still-pending tasks; the group must outlive
+/// every task it launched.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Launches `task` on the pool (or inline without one).
+  void Run(std::function<void()> task);
+
+  /// Blocks until every task launched through this group has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int pending_ = 0;
+};
+
 }  // namespace hcore
 
 #endif  // HCORE_UTIL_THREAD_POOL_H_

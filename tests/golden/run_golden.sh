@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Golden-file protocol test for the `hcore_cli serve` REPL.
+#
+#   run_golden.sh <hcore_cli> <graph> <session.in> <expected.golden> [flags...]
+#
+# Pipes the scripted session into `hcore_cli serve [flags]` and diffs the
+# output against the recorded transcript byte for byte, EXCEPT wall-clock
+# tokens, which are normalized on both sides before the diff:
+#   * the build banner's "ready (0.123s)"            -> "ready (TIME)"
+#   * the stats block's "decomposition_seconds=0.123" -> "...=TIME"
+# Everything else — counters, epoch vectors, vertex lists, error messages —
+# must match exactly, so any REPL output change shows up in CI as a diff
+# against the recorded golden instead of surprising users.
+set -u -o pipefail
+
+if [ "$#" -lt 4 ]; then
+  echo "usage: $0 <hcore_cli> <graph> <session.in> <expected.golden> [flags...]" >&2
+  exit 2
+fi
+
+cli="$1"
+graph="$2"
+session="$3"
+golden="$4"
+shift 4
+
+normalize() {
+  sed -E 's/\(([0-9]+\.[0-9]+)s\)/(TIME)/; s/decomposition_seconds=[0-9]+\.[0-9]+/decomposition_seconds=TIME/'
+}
+
+actual_norm="$(mktemp)"
+golden_norm="$(mktemp)"
+trap 'rm -f "$actual_norm" "$golden_norm"' EXIT
+
+# pipefail makes a CLI crash (even one after the last output line) fail
+# the test rather than vanish into the pipe.
+if ! "$cli" serve "--input=$graph" "$@" < "$session" 2>&1 | normalize > "$actual_norm"; then
+  echo "hcore_cli exited nonzero for session $session" >&2
+  exit 1
+fi
+normalize < "$golden" > "$golden_norm"
+
+if ! diff -u "$golden_norm" "$actual_norm"; then
+  echo "golden mismatch: $golden vs '$cli serve $* < $session'" >&2
+  echo "(if the change is intentional, re-record the golden transcript)" >&2
+  exit 1
+fi
+echo "golden ok: $(basename "$golden")"

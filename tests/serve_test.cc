@@ -1,0 +1,311 @@
+// Differential equivalence suite for the sharded serving tier: every query
+// type on ShardedHCoreService{2,3,8 shards} must equal the single HCoreIndex
+// oracle — cores, spectra, degeneracies, densest-level tables, cross-shard
+// scatter-gather components and communities — on four graph families (BA,
+// clustered, disconnected, star-heavy), both on the initial build and after
+// mixed ApplyBatch sequences. Also locks the tier invariants: lockstep
+// epoch vectors, exact incremental cut-edge maintenance, per-shard counter
+// balance, and stats reset.
+
+#include "serve/sharded_service.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/community.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "index/hcore_index.h"
+#include "test_util.h"
+
+namespace hcore {
+namespace {
+
+constexpr int kMaxH = 3;
+const int kShardCounts[] = {2, 3, 8};
+
+struct Family {
+  std::string name;
+  std::function<Graph()> make;
+};
+
+std::vector<Family> Families() {
+  return {
+      {"ba",
+       [] {
+         Rng rng(11);
+         return gen::BarabasiAlbert(120, 3, &rng);
+       }},
+      {"clustered",
+       [] {
+         Rng rng(12);
+         return gen::CliqueOverlay(150, 70, 3, 12, 2.0, &rng);
+       }},
+      // p_out = 0: three components that only edits can connect.
+      {"disconnected",
+       [] {
+         Rng rng(13);
+         return gen::PlantedPartition(3, 40, 0.4, 0.0, &rng);
+       }},
+      {"star",
+       [] {
+         Rng rng(14);
+         return gen::StarHeavySocial(140, 400, 3, 0.5, &rng);
+       }},
+  };
+}
+
+HCoreIndexOptions IndexOptions() {
+  HCoreIndexOptions opts;
+  opts.max_h = kMaxH;
+  return opts;
+}
+
+ShardedServiceOptions ServiceOptions(int shards) {
+  ShardedServiceOptions opts;
+  opts.num_shards = shards;
+  opts.index = IndexOptions();
+  return opts;
+}
+
+/// Every query type against the single-index oracle snapshot.
+void AssertEquivalent(const ShardedHCoreService& service,
+                      const HCoreIndex& oracle, const std::string& label) {
+  auto view = service.view();
+  auto snap = oracle.snapshot();
+  const VertexId n = snap->graph().num_vertices();
+  ASSERT_EQ(view->graph().num_vertices(), n) << label;
+  ASSERT_EQ(view->graph().num_edges(), snap->graph().num_edges()) << label;
+
+  // Epoch vector: one entry per shard, all pinned to the same batch.
+  ASSERT_EQ(view->shard_epochs().size(),
+            static_cast<size_t>(service.num_shards()));
+  for (uint64_t e : view->shard_epochs()) {
+    ASSERT_EQ(e, view->service_epoch()) << label;
+  }
+
+  for (int h = 1; h <= kMaxH; ++h) {
+    ASSERT_EQ(view->Degeneracy(h), snap->Degeneracy(h)) << label << " h=" << h;
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(view->CoreOf(v, h), snap->CoreOf(v, h))
+          << label << " h=" << h << " v=" << v;
+    }
+    // Densest-level tables, field for field.
+    auto sharded_rows = view->TopDensestLevels(h, 5);
+    auto oracle_rows = snap->TopDensestLevels(h, 5);
+    ASSERT_EQ(sharded_rows.size(), oracle_rows.size()) << label << " h=" << h;
+    for (size_t i = 0; i < sharded_rows.size(); ++i) {
+      EXPECT_EQ(sharded_rows[i].k, oracle_rows[i].k) << label;
+      EXPECT_EQ(sharded_rows[i].vertices, oracle_rows[i].vertices) << label;
+      EXPECT_EQ(sharded_rows[i].edges, oracle_rows[i].edges) << label;
+      EXPECT_DOUBLE_EQ(sharded_rows[i].density, oracle_rows[i].density)
+          << label;
+    }
+    // Scatter-gather components vs the oracle's hierarchy walk, across the
+    // whole level range including k = 0 (components of G) and the empty
+    // answer past the vertex's own core.
+    for (VertexId v = 0; v < n; v += 3) {
+      const uint32_t core = snap->CoreOf(v, h);
+      for (uint32_t k : {0u, 1u, core / 2, core, core + 1}) {
+        ASSERT_EQ(view->CoreComponentOf(v, k, h),
+                  snap->CoreComponentOf(v, k, h))
+            << label << " h=" << h << " v=" << v << " k=" << k;
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; v += 7) {
+    ASSERT_EQ(view->Spectrum(v), snap->Spectrum(v)) << label << " v=" << v;
+  }
+}
+
+/// Scatter-gather community vs the from-cores oracle on sampled queries.
+void AssertCommunitiesEquivalent(const ShardedHCoreService& service,
+                                 const HCoreIndex& oracle, uint64_t seed,
+                                 const std::string& label) {
+  auto view = service.view();
+  auto snap = oracle.snapshot();
+  const VertexId n = snap->graph().num_vertices();
+  Rng rng(seed);
+  for (int h = 1; h <= kMaxH; ++h) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<VertexId> query{rng.NextIndex(n)};
+      // Mix of nearby pairs (same component likely) and far pairs that
+      // exercise the infeasible path on disconnected inputs.
+      if (trial % 2 == 0) query.push_back(rng.NextIndex(n));
+      if (trial % 3 == 0) query.push_back(rng.NextIndex(n));
+      CommunityResult sharded = view->Community(query, h);
+      CommunityResult expected = DistanceCocktailPartyFromCores(
+          snap->graph(), query, h, snap->Cores(h));
+      ASSERT_EQ(sharded.feasible, expected.feasible) << label << " h=" << h;
+      ASSERT_EQ(sharded.vertices, expected.vertices) << label << " h=" << h;
+      ASSERT_EQ(sharded.min_h_degree, expected.min_h_degree)
+          << label << " h=" << h;
+      ASSERT_EQ(sharded.core_level, expected.core_level) << label
+                                                         << " h=" << h;
+    }
+  }
+}
+
+/// A deterministic mixed batch against the current graph (same helper shape
+/// as the index fuzz suite; includes a growth insert now and then).
+std::vector<EdgeEdit> MixedBatch(const Graph& g, Rng* rng, int size) {
+  std::vector<EdgeEdit> batch;
+  const VertexId n = g.num_vertices();
+  auto edges = g.Edges();
+  for (int i = 0; i < size; ++i) {
+    if (rng->NextBool(0.55) || edges.empty()) {
+      batch.push_back(
+          EdgeEdit::Insert(rng->NextIndex(n + 1), rng->NextIndex(n + 1)));
+    } else {
+      auto [u, v] = edges[rng->NextIndex(static_cast<uint32_t>(edges.size()))];
+      batch.push_back(EdgeEdit::Delete(u, v));
+    }
+  }
+  return batch;
+}
+
+TEST(ServeDifferential, AllQueryTypesMatchOracleAcrossFamiliesAndShards) {
+  for (const Family& family : Families()) {
+    HCoreIndex oracle(family.make(), IndexOptions());
+    for (int shards : kShardCounts) {
+      ShardedHCoreService service(family.make(), ServiceOptions(shards));
+      const std::string label = family.name + "/shards" +
+                                std::to_string(shards);
+      AssertEquivalent(service, oracle, label);
+      if (HasFatalFailure()) return;
+      AssertCommunitiesEquivalent(service, oracle, 100 + shards, label);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ServeDifferential, EquivalenceHoldsAfterMixedApplyBatchSequences) {
+  for (const Family& family : Families()) {
+    for (int shards : kShardCounts) {
+      HCoreIndex oracle(family.make(), IndexOptions());
+      ShardedHCoreService service(family.make(), ServiceOptions(shards));
+      Rng rng(31 * shards + 7);
+      for (int round = 0; round < 4; ++round) {
+        auto batch =
+            MixedBatch(service.view()->graph(), &rng, 2 + round * 2);
+        const size_t oracle_applied = oracle.ApplyBatch(batch);
+        const size_t sharded_applied = service.ApplyBatch(batch);
+        ASSERT_EQ(sharded_applied, oracle_applied)
+            << family.name << " shards=" << shards << " round=" << round;
+        const std::string label = family.name + "/shards" +
+                                  std::to_string(shards) + "/round" +
+                                  std::to_string(round);
+        AssertEquivalent(service, oracle, label);
+        if (HasFatalFailure()) return;
+      }
+      AssertCommunitiesEquivalent(service, oracle, 500 + shards,
+                                  family.name + "/post-batches");
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ServeDifferential, DisconnectedComponentsMergeExactlyWhenEditsBridge) {
+  // Start from three disjoint blocks; insert bridges one at a time and
+  // check the scatter-gather component of a block-0 vertex matches the
+  // oracle as the global component grows across shard boundaries.
+  auto make = Families()[2].make;
+  for (int shards : kShardCounts) {
+    HCoreIndex oracle(make(), IndexOptions());
+    ShardedHCoreService service(make(), ServiceOptions(shards));
+    const std::vector<EdgeEdit> bridges[] = {
+        {EdgeEdit::Insert(0, 45)},   // block 0 <-> block 1
+        {EdgeEdit::Insert(50, 85)},  // block 1 <-> block 2
+    };
+    for (const auto& batch : bridges) {
+      ASSERT_EQ(service.ApplyBatch(batch), oracle.ApplyBatch(batch));
+      auto view = service.view();
+      auto snap = oracle.snapshot();
+      for (int h = 1; h <= kMaxH; ++h) {
+        for (VertexId v : {0u, 45u, 85u}) {
+          ASSERT_EQ(view->CoreComponentOf(v, 0, h),
+                    snap->CoreComponentOf(v, 0, h))
+              << "shards=" << shards << " h=" << h << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(ServeTier, CutEdgeSetIsMaintainedExactlyAcrossBatches) {
+  Rng rng(91);
+  Graph g = gen::CliqueOverlay(120, 60, 3, 10, 2.0, &rng);
+  for (int shards : kShardCounts) {
+    ShardedHCoreService service(Graph(g), ServiceOptions(shards));
+    Rng edit_rng(7 * shards);
+    for (int round = 0; round < 5; ++round) {
+      service.ApplyBatch(MixedBatch(service.view()->graph(), &edit_rng, 5));
+      auto view = service.view();
+      // The spliced set must equal a from-scratch extraction every epoch.
+      ASSERT_EQ(view->cut_edges(),
+                ExtractCutEdges(view->graph(), view->partition()))
+          << "shards=" << shards << " round=" << round;
+    }
+  }
+}
+
+TEST(ServeTier, ShardCountersBalanceAndStatsResetZeroes) {
+  Rng rng(17);
+  Graph g = gen::BarabasiAlbert(90, 3, &rng);
+  ShardedHCoreService service(Graph(g), ServiceOptions(3));
+
+  Rng edit_rng(3);
+  size_t effective_batches = 0;
+  for (int round = 0; round < 4; ++round) {
+    auto batch = MixedBatch(service.view()->graph(), &edit_rng, 3);
+    if (service.ApplyBatch(batch) > 0) ++effective_batches;
+  }
+  ASSERT_GT(effective_batches, 0u);
+  (void)service.CoreComponentOf(0, 1, 2);
+  (void)service.Community({0, 1}, 2);
+
+  ShardedServiceStats stats = service.stats();
+  ASSERT_EQ(stats.shard.size(), 3u);
+  for (const HCoreIndexStats& s : stats.shard) {
+    // Every shard applied every effective batch, replica-consistently, and
+    // each dirty level went to exactly one maintenance path.
+    EXPECT_EQ(s.batches_applied, effective_batches);
+    EXPECT_EQ(s.csr_rebuilds, effective_batches);
+    EXPECT_EQ(s.localized_updates + s.fallback_repeels,
+              effective_batches * kMaxH);
+  }
+  EXPECT_EQ(stats.gather.component_queries, 1u);
+  EXPECT_EQ(stats.gather.community_queries, 1u);
+  EXPECT_GT(stats.gather.shard_scatters, 0u);
+  EXPECT_GT(stats.gather.cut_edges_scanned, 0u);
+
+  const uint64_t epoch_before = service.view()->service_epoch();
+  service.ResetStats();
+  ShardedServiceStats zeroed = service.stats();
+  for (const HCoreIndexStats& s : zeroed.shard) {
+    EXPECT_EQ(s.batches_applied, 0u);
+    EXPECT_EQ(s.edits_applied, 0u);
+    EXPECT_EQ(s.decomposition.visited_vertices, 0u);
+  }
+  EXPECT_EQ(zeroed.gather.component_queries, 0u);
+  EXPECT_EQ(zeroed.gather.shard_scatters, 0u);
+  // Reset is a counter operation only: the published view and its epoch
+  // vector are untouched.
+  EXPECT_EQ(service.view()->service_epoch(), epoch_before);
+}
+
+TEST(ServeTier, SingleShardDegeneratesToOneIndexWithEmptyCutSet) {
+  Rng rng(5);
+  Graph g = gen::PlantedPartition(3, 30, 0.4, 0.05, &rng);
+  HCoreIndex oracle(Graph(g), IndexOptions());
+  ShardedHCoreService service(Graph(g), ServiceOptions(1));
+  EXPECT_TRUE(service.view()->cut_edges().empty());
+  AssertEquivalent(service, oracle, "single-shard");
+  AssertCommunitiesEquivalent(service, oracle, 42, "single-shard");
+}
+
+}  // namespace
+}  // namespace hcore

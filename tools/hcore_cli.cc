@@ -14,24 +14,33 @@
 //   hcore_cli generate   --model=ba|gnp|ws|road|cliques --n=1000 [--seed=S]
 //                        --output=G.txt
 //   hcore_cli serve      --input=G.txt [--h-max=4] [--threads=N] [--algo=..]
+//                        [--shards=N]
 //
-// `serve` builds an HCoreIndex once, then answers query/update commands
-// from stdin (REPL or piped batch), one per line:
+// `serve` builds a ShardedHCoreService (--shards index shards behind one
+// API; the default 1 degenerates to a single HCoreIndex), then answers
+// query/update commands from stdin (REPL or piped batch), one per line:
 //
-//   core <v> <h>             core index of v at threshold h
-//   spectrum <v>             core_1(v) .. core_H(v)
+//   core <v> <h>             core index of v at threshold h (owner shard)
+//   spectrum <v>             core_1(v) .. core_H(v) (owner shard)
 //   component <v> <k> <h>    connected component of v in the (k,h)-core
-//   community <h> v1,v2,..   cocktail-party community from the snapshot
+//                            (cross-shard scatter-gather)
+//   community <h> v1,v2,..   cocktail-party community (scatter-gather)
 //   densest <h> <top-k>      densest core levels of threshold h
 //   insert <u> <v>           stage an edge insertion into the pending batch
 //   delete <u> <v>           stage an edge deletion into the pending batch
-//   apply                    apply the pending batch (one epoch)
-//   stats                    epoch, graph size, cumulative engine counters
+//   apply                    apply the pending batch (one epoch, all shards)
+//   stats                    epoch vector, graph size, cumulative counters
+//                            (aggregated plus per-shard when --shards > 1)
+//   stats reset              zero the cumulative counters (epochs stay)
 //   quit                     exit
 //
-// Point queries are answered from the warm index — the Table-3-style BFS
-// counters shown by `stats` stay flat however many queries run; only
-// `apply` (and the initial build) moves them.
+// Point queries are answered from the warm shard snapshots — the
+// Table-3-style BFS counters shown by `stats` stay flat however many
+// queries run; only `apply` (and the initial build) moves them. With
+// --shards=1 the output of every pre-existing command is byte-identical
+// to the pre-sharding serve (locked by tests/golden/serve_shards1.golden,
+// recorded from the pre-PR binary); `help` and malformed `stats <arg>`
+// are the deliberate exceptions (`stats reset` is new).
 //
 // The core-decomposition flags (--h, --algo/--algorithm, --threads,
 // --partition, --ordering) map 1:1 onto KhCoreOptions and apply to every
@@ -65,6 +74,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "index/hcore_index.h"
+#include "serve/sharded_service.h"
 #include "traversal/distances.h"
 #include "util/rng.h"
 
@@ -357,19 +367,32 @@ int CmdDensest(const Flags& flags) {
   return 0;
 }
 
-void PrintServeStats(const HCoreIndex& index) {
-  auto snap = index.snapshot();
-  const HCoreIndexStats s = index.stats();
+void PrintServeStats(const ShardedHCoreService& service) {
+  auto view = service.view();
+  const ShardedServiceStats st = service.stats();
+  const HCoreIndexStats s = st.AggregateShards();
+  // The single-shard header is the pre-sharding format, byte for byte
+  // (locked by the golden protocol test); the sharded header adds the
+  // shard count and the cut-edge set size.
+  if (service.num_shards() == 1) {
+    std::printf("epoch=%llu n=%u m=%llu h_max=%d\n",
+                static_cast<unsigned long long>(view->shard_epochs().front()),
+                view->graph().num_vertices(),
+                static_cast<unsigned long long>(view->graph().num_edges()),
+                service.max_h());
+  } else {
+    std::printf("epoch=%llu shards=%d n=%u m=%llu h_max=%d cut_edges=%zu\n",
+                static_cast<unsigned long long>(view->service_epoch()),
+                service.num_shards(), view->graph().num_vertices(),
+                static_cast<unsigned long long>(view->graph().num_edges()),
+                service.max_h(), view->cut_edges().size());
+  }
   std::printf(
-      "epoch=%llu n=%u m=%llu h_max=%d\n"
       "csr_rebuilds=%llu batches=%llu edits=%llu level_runs=%llu "
       "levels_unchanged=%llu localized=%llu fallback_repeels=%llu\n"
       "bfs_visits=%llu hdeg_computations=%llu decrements=%llu "
       "decomposition_seconds=%.3f\n",
-      static_cast<unsigned long long>(snap->epoch()),
-      snap->graph().num_vertices(),
-      static_cast<unsigned long long>(snap->graph().num_edges()),
-      index.max_h(), static_cast<unsigned long long>(s.csr_rebuilds),
+      static_cast<unsigned long long>(s.csr_rebuilds),
       static_cast<unsigned long long>(s.batches_applied),
       static_cast<unsigned long long>(s.edits_applied),
       static_cast<unsigned long long>(s.level_decompositions),
@@ -380,6 +403,24 @@ void PrintServeStats(const HCoreIndex& index) {
       static_cast<unsigned long long>(s.decomposition.hdegree_computations),
       static_cast<unsigned long long>(s.decomposition.decrement_updates),
       s.decomposition.seconds);
+  if (service.num_shards() > 1) {
+    for (size_t i = 0; i < st.shard.size(); ++i) {
+      std::printf("shard %zu: epoch=%llu localized=%llu fallback_repeels=%llu "
+                  "levels_unchanged=%llu\n",
+                  i, static_cast<unsigned long long>(view->shard_epochs()[i]),
+                  static_cast<unsigned long long>(st.shard[i].localized_updates),
+                  static_cast<unsigned long long>(st.shard[i].fallback_repeels),
+                  static_cast<unsigned long long>(
+                      st.shard[i].levels_unchanged));
+    }
+    std::printf("gather: component_queries=%llu community_queries=%llu "
+                "scatters=%llu fragments=%llu cut_scans=%llu\n",
+                static_cast<unsigned long long>(st.gather.component_queries),
+                static_cast<unsigned long long>(st.gather.community_queries),
+                static_cast<unsigned long long>(st.gather.shard_scatters),
+                static_cast<unsigned long long>(st.gather.fragments_merged),
+                static_cast<unsigned long long>(st.gather.cut_edges_scanned));
+  }
 }
 
 void PrintVertexList(const std::vector<VertexId>& vertices, size_t limit) {
@@ -394,18 +435,28 @@ void PrintVertexList(const std::vector<VertexId>& vertices, size_t limit) {
 int CmdServe(const Flags& flags) {
   Result<Graph> g = LoadInput(flags);
   if (!g.ok()) return Fail(g.status().ToString());
-  HCoreIndexOptions opts;
-  opts.max_h = HMax(flags);
-  opts.base = CoreOptions(flags);
-  if (opts.max_h < 1) return Fail("--h-max must be >= 1");
+  ShardedServiceOptions opts;
+  opts.num_shards = flags.GetInt("shards", 1);
+  opts.index.max_h = HMax(flags);
+  opts.index.base = CoreOptions(flags);
+  if (opts.index.max_h < 1) return Fail("--h-max must be >= 1");
+  if (opts.num_shards < 1) return Fail("--shards must be >= 1");
 
-  std::printf("building index: n=%u m=%llu h_max=%d threads=%d ...\n",
-              g.value().num_vertices(),
-              static_cast<unsigned long long>(g.value().num_edges()),
-              opts.max_h, opts.base.num_threads);
-  HCoreIndex index(std::move(g.value()), opts);
+  if (opts.num_shards == 1) {
+    std::printf("building index: n=%u m=%llu h_max=%d threads=%d ...\n",
+                g.value().num_vertices(),
+                static_cast<unsigned long long>(g.value().num_edges()),
+                opts.index.max_h, opts.index.base.num_threads);
+  } else {
+    std::printf(
+        "building index: n=%u m=%llu h_max=%d threads=%d shards=%d ...\n",
+        g.value().num_vertices(),
+        static_cast<unsigned long long>(g.value().num_edges()),
+        opts.index.max_h, opts.index.base.num_threads, opts.num_shards);
+  }
+  ShardedHCoreService service(std::move(g.value()), opts);
   std::printf("ready (%.3fs); try 'help'\n",
-              index.stats().decomposition.seconds);
+              service.stats().AggregateShards().decomposition.seconds);
 
   const size_t print_limit =
       static_cast<size_t>(flags.GetInt("print-limit", 32));
@@ -415,22 +466,23 @@ int CmdServe(const Flags& flags) {
     std::istringstream in(line);
     std::string cmd;
     if (!(in >> cmd) || cmd[0] == '#') continue;
-    auto snap = index.snapshot();
-    const VertexId n = snap->graph().num_vertices();
+    auto view = service.view();
+    const VertexId n = view->graph().num_vertices();
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       std::printf(
           "core <v> <h> | spectrum <v> | component <v> <k> <h> |\n"
           "community <h> <v1,v2,...> | densest <h> <top-k> |\n"
-          "insert <u> <v> | delete <u> <v> | apply | stats | quit\n");
+          "insert <u> <v> | delete <u> <v> | apply | stats | stats reset |\n"
+          "quit\n");
     } else if (cmd == "core") {
       VertexId v;
       int h;
-      if (!(in >> v >> h) || v >= n || h < 1 || h > index.max_h()) {
+      if (!(in >> v >> h) || v >= n || h < 1 || h > service.max_h()) {
         std::printf("error: usage core <v> <h>\n");
         continue;
       }
-      std::printf("core_%d(%u) = %u\n", h, v, snap->CoreOf(v, h));
+      std::printf("core_%d(%u) = %u\n", h, v, view->CoreOf(v, h));
     } else if (cmd == "spectrum") {
       VertexId v;
       if (!(in >> v) || v >= n) {
@@ -438,24 +490,24 @@ int CmdServe(const Flags& flags) {
         continue;
       }
       std::printf("spectrum(%u) =", v);
-      for (uint32_t c : snap->Spectrum(v)) std::printf(" %u", c);
+      for (uint32_t c : view->Spectrum(v)) std::printf(" %u", c);
       std::printf("\n");
     } else if (cmd == "component") {
       VertexId v;
       uint32_t k;
       int h;
-      if (!(in >> v >> k >> h) || v >= n || h < 1 || h > index.max_h()) {
+      if (!(in >> v >> k >> h) || v >= n || h < 1 || h > service.max_h()) {
         std::printf("error: usage component <v> <k> <h>\n");
         continue;
       }
-      std::vector<VertexId> component = snap->CoreComponentOf(v, k, h);
+      std::vector<VertexId> component = service.CoreComponentOf(v, k, h);
       std::printf("component(v=%u, k=%u, h=%d): |C|=%zu\n", v, k, h,
                   component.size());
       if (!component.empty()) PrintVertexList(component, print_limit);
     } else if (cmd == "community") {
       int h;
       std::string ids;
-      if (!(in >> h >> ids) || h < 1 || h > index.max_h()) {
+      if (!(in >> h >> ids) || h < 1 || h > service.max_h()) {
         std::printf("error: usage community <h> <v1,v2,...>\n");
         continue;
       }
@@ -466,8 +518,7 @@ int CmdServe(const Flags& flags) {
         std::printf("error: query vertex out of range\n");
         continue;
       }
-      CommunityResult r = DistanceCocktailPartyFromCores(
-          snap->graph(), query, h, snap->Cores(h));
+      CommunityResult r = service.Community(query, h);
       if (!r.feasible) {
         std::printf("infeasible: query spans components\n");
         continue;
@@ -478,11 +529,11 @@ int CmdServe(const Flags& flags) {
     } else if (cmd == "densest") {
       int h;
       int top_k;
-      if (!(in >> h >> top_k) || h < 1 || h > index.max_h() || top_k < 1) {
+      if (!(in >> h >> top_k) || h < 1 || h > service.max_h() || top_k < 1) {
         std::printf("error: usage densest <h> <top-k>\n");
         continue;
       }
-      auto rows = snap->TopDensestLevels(h, static_cast<size_t>(top_k));
+      auto rows = view->TopDensestLevels(h, static_cast<size_t>(top_k));
       for (const auto& row : rows) {
         std::printf("k=%u |C_k|=%u |E(C_k)|=%llu density=%.3f\n", row.k,
                     row.vertices, static_cast<unsigned long long>(row.edges),
@@ -508,13 +559,21 @@ int CmdServe(const Flags& flags) {
       std::printf("staged (%zu pending; 'apply' to commit)\n",
                   pending.size());
     } else if (cmd == "apply") {
-      const size_t applied = index.ApplyBatch(pending);
-      std::printf("applied %zu/%zu edits -> epoch %llu\n", applied,
-                  pending.size(),
-                  static_cast<unsigned long long>(index.snapshot()->epoch()));
+      const size_t applied = service.ApplyBatch(pending);
+      std::printf(
+          "applied %zu/%zu edits -> epoch %llu\n", applied, pending.size(),
+          static_cast<unsigned long long>(service.view()->service_epoch()));
       pending.clear();
     } else if (cmd == "stats") {
-      PrintServeStats(index);
+      std::string sub;
+      if (!(in >> sub)) {
+        PrintServeStats(service);
+      } else if (sub == "reset") {
+        service.ResetStats();
+        std::printf("stats reset\n");
+      } else {
+        std::printf("error: usage stats [reset]\n");
+      }
     } else {
       std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
     }
