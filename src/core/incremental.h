@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/kh_core.h"
+#include "engine/parallel_peel.h"
 #include "engine/vertex_mask.h"
 #include "graph/graph.h"
 #include "traversal/h_degree.h"
@@ -69,6 +70,12 @@ struct LocalizedUpdateOptions {
   /// Batch cap (HCoreIndex): batches with more effective edits than this
   /// skip discovery entirely (their joint region is rarely local).
   size_t max_batch = 8;
+  /// Round-synchronous parallel region peel (engine/parallel_peel.h):
+  /// candidate regions whose peel (region + boundary) clears the size gate
+  /// run on the updater's thread pool instead of the sequential bucket
+  /// loop. Results are identical; small regions keep sequential latency.
+  ParallelPeelMode parallel = ParallelPeelMode::kAuto;
+  uint64_t parallel_min_vertices = kParallelPeelAutoMinVertices;
 
   size_t MaxRegion(VertexId n) const {
     return std::max(min_region_cap,
@@ -127,6 +134,7 @@ class LocalizedUpdater {
                      LocalizedUpdateStats* local);
 
   HDegreeComputer degrees_;
+  ParallelPeeler peeler_;
   RegionFinder finder_;
   BoundedBfs cascade_bfs_;
   VertexMask mask_;
@@ -134,6 +142,11 @@ class LocalizedUpdater {
   std::vector<uint32_t> base_core_;
   std::vector<uint32_t> next_core_;
   std::vector<VertexId> worklist_;
+  // Parallel region-peel scratch: per-vertex keys and the region ∪ boundary
+  // candidate list.
+  std::vector<uint32_t> peel_keys_;
+  std::vector<uint32_t> region_keys_;
+  std::vector<VertexId> peel_vertices_;
 };
 
 /// A (k,h)-core decomposition that can be advanced across edge updates.

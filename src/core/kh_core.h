@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/parallel_peel.h"
 #include "graph/graph.h"
 
 namespace hcore {
@@ -82,6 +83,22 @@ struct KhCoreOptions {
   int partition_size = 0;
   /// Worker threads for h-degree batches (§4.6). 1 = sequential.
   int num_threads = 1;
+  /// Round-synchronous parallel peel (engine/parallel_peel.h). kAuto runs
+  /// it when num_threads >= 2 and the graph clears `parallel_min_vertices`
+  /// (scaled by the thread count); kOff keeps the sequential bucket loop.
+  /// The decision is made once per decomposition — the parallel peel
+  /// bypasses the bucket queue, so runs never mix loop kinds mid-way.
+  /// Cores are identical in every mode.
+  ParallelPeelMode parallel = ParallelPeelMode::kAuto;
+  /// kAuto size floor for `parallel` (vertices in the peel). For h > 1
+  /// the effective floor is this value / 8: those rounds recompute
+  /// h-degrees by BFS, so the fan-out amortizes at much smaller peels.
+  /// kAuto also declines sparse graphs (average degree below
+  /// kParallelPeelAutoMinAvgDegree) whose thin frontiers lose to the
+  /// per-round barrier, and h = 2 peels on machines without at least two
+  /// hardware threads (work parity with the sequential engine — see
+  /// UseParallelPeelForH).
+  uint64_t parallel_min_vertices = kParallelPeelAutoMinVertices;
   LowerBoundMode lower_bound = LowerBoundMode::kLb2;
   UpperBoundMode upper_bound = UpperBoundMode::kPowerGraph;
   /// Cache-locality relabeling (see VertexOrdering). Does not change the
@@ -109,6 +126,13 @@ struct KhCoreStats {
   uint64_t hdegree_computations = 0;
   /// Number of O(1) decrement updates taken instead of a BFS.
   uint64_t decrement_updates = 0;
+  /// Vertices popped/claimed by the peel. Equal between sequential and
+  /// parallel runs for the eager algorithms (h-BZ peels each vertex exactly
+  /// once); h-LB's sequential loop additionally counts lazy re-queues, so
+  /// its pops legitimately exceed the parallel engine's (which materializes
+  /// lazy keys in batches without popping). 0 for h = 1 (the classic path
+  /// reports no engine counters).
+  uint64_t pops = 0;
   /// Partitions processed (h-LB+UB only).
   uint32_t partitions = 0;
   /// Wall-clock seconds, total and for the bound-precomputation phase.

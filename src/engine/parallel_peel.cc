@@ -1,0 +1,148 @@
+#include "engine/parallel_peel.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace hcore {
+namespace {
+
+/// Concatenates per-worker lists into `out` (cleared first).
+void Concat(const std::vector<std::vector<VertexId>>& lists,
+            std::vector<VertexId>* out) {
+  out->clear();
+  for (const auto& list : lists) {
+    out->insert(out->end(), list.begin(), list.end());
+  }
+}
+
+}  // namespace
+
+void ParallelPeeler::EnsureScratch(VertexId n) {
+  if (capacity_ >= n) return;
+  // Value-initialization zeroes the atomics; afterwards the reset-from-list
+  // discipline in Peel keeps every entry 0 between marking passes.
+  marks_.reset(new std::atomic<uint8_t>[n]());
+  queued_.assign(n, 0);
+  capacity_ = n;
+}
+
+uint32_t ParallelClassicCore(const Graph& g, int num_threads,
+                             std::vector<uint32_t>* core, PeelingStats* stats) {
+  const VertexId n = g.num_vertices();
+  core->assign(n, 0);
+  PeelingStats total;
+  uint32_t degeneracy = 0;
+  if (n == 0) {
+    if (stats != nullptr) *stats = total;
+    return 0;
+  }
+  ThreadPool pool(std::max(1, num_threads));
+  const int workers = pool.num_threads();
+
+  // deg starts at the plain degree and only ever shrinks; the decrement
+  // that takes a neighbor from k+1 to k claims it for the level (exactly
+  // once — fetch_sub returns the pre-decrement value to a single worker).
+  // claimed[v] keeps already-crossing vertices from being decremented
+  // below their level, mirroring the sequential pinned-bucket skip.
+  std::unique_ptr<std::atomic<uint32_t>[]> deg(new std::atomic<uint32_t>[n]);
+  std::unique_ptr<std::atomic<uint8_t>[]> claimed(new std::atomic<uint8_t>[n]);
+  pool.ParallelFor(0, n, 4096, [&](uint64_t v) {
+    deg[v].store(g.degree(static_cast<VertexId>(v)),
+                 std::memory_order_relaxed);
+    claimed[v].store(0, std::memory_order_relaxed);
+  });
+
+  std::vector<VertexId> remaining(n);
+  for (VertexId v = 0; v < n; ++v) remaining[v] = v;
+  std::vector<VertexId> frontier;
+  std::vector<std::vector<VertexId>> keep(workers), found(workers);
+  std::vector<PeelingStats> worker_stats(workers);
+  std::vector<uint32_t> worker_min(workers);
+
+  uint32_t k = 0;
+  while (!remaining.empty()) {
+    // Level scan: claim every vertex at or below level k, compact the rest.
+    // Each worker owns disjoint chunks of `remaining`, so the claimed
+    // stores never race (a vertex is scanned by exactly one worker, and
+    // nothing else writes claimed between the pool barriers).
+    std::atomic<size_t> cursor{0};
+    const size_t size = remaining.size();
+    const size_t grain =
+        std::max<size_t>(256, size / (8 * static_cast<size_t>(workers)));
+    pool.ForEachWorker(workers, [&](int t) {
+      keep[t].clear();
+      found[t].clear();
+      uint32_t local_min = UINT32_MAX;
+      for (;;) {
+        const size_t lo = cursor.fetch_add(grain);
+        if (lo >= size) break;
+        const size_t hi = std::min(size, lo + grain);
+        for (size_t i = lo; i < hi; ++i) {
+          const VertexId v = remaining[i];
+          // Already claimed == already peeled in one of the previous
+          // level's inner rounds (its compaction happens here, lazily).
+          if (claimed[v].load(std::memory_order_relaxed)) continue;
+          const uint32_t d = deg[v].load(std::memory_order_relaxed);
+          if (d <= k) {
+            claimed[v].store(1, std::memory_order_relaxed);
+            found[t].push_back(v);
+          } else {
+            local_min = std::min(local_min, d);
+            keep[t].push_back(v);
+          }
+        }
+      }
+      worker_min[t] = local_min;
+    });
+    Concat(keep, &remaining);
+    Concat(found, &frontier);
+    if (frontier.empty()) {
+      uint32_t min_deg = UINT32_MAX;
+      for (const uint32_t m : worker_min) min_deg = std::min(min_deg, m);
+      k = min_deg;  // remaining is non-empty, so min_deg < UINT32_MAX
+      continue;
+    }
+    degeneracy = k;
+    // Inner rounds: peel the frontier, collect neighbors whose degree
+    // crosses the level, repeat until nothing crosses.
+    while (!frontier.empty()) {
+      total.pops += frontier.size();
+      std::atomic<size_t> fcursor{0};
+      const size_t fsize = frontier.size();
+      const size_t fgrain =
+          std::max<size_t>(16, fsize / (8 * static_cast<size_t>(workers)));
+      pool.ForEachWorker(workers, [&](int t) {
+        found[t].clear();
+        uint64_t decrements = 0;
+        for (;;) {
+          const size_t lo = fcursor.fetch_add(fgrain);
+          if (lo >= fsize) break;
+          const size_t hi = std::min(fsize, lo + fgrain);
+          for (size_t i = lo; i < hi; ++i) {
+            const VertexId v = frontier[i];
+            (*core)[v] = k;  // each v sits in exactly one frontier slot
+            for (const VertexId u : g.neighbors(v)) {
+              if (claimed[u].load(std::memory_order_relaxed)) continue;
+              const uint32_t old =
+                  deg[u].fetch_sub(1, std::memory_order_relaxed);
+              ++decrements;
+              if (old == k + 1) {
+                claimed[u].store(1, std::memory_order_relaxed);
+                found[t].push_back(u);
+              }
+            }
+          }
+        }
+        worker_stats[t].decrement_updates += decrements;
+      });
+      Concat(found, &frontier);
+    }
+    ++k;
+  }
+  for (const PeelingStats& ws : worker_stats) total.Add(ws);
+  if (stats != nullptr) *stats = total;
+  return degeneracy;
+}
+
+}  // namespace hcore

@@ -19,6 +19,7 @@ void HCoreIndexStats::Add(const HCoreIndexStats& other) {
   decomposition.hdegree_computations +=
       other.decomposition.hdegree_computations;
   decomposition.decrement_updates += other.decomposition.decrement_updates;
+  decomposition.pops += other.decomposition.pops;
   decomposition.partitions += other.decomposition.partitions;
   decomposition.seconds += other.decomposition.seconds;
   decomposition.bound_seconds += other.decomposition.bound_seconds;
@@ -204,6 +205,55 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
       peel = &relabeled;
     }
   };
+  // Phase A: localized attempts. Dirty levels are independent of each other
+  // (only the warm FALLBACK consumes the spectrum chain, where level h - 1
+  // of this epoch seeds level h), so when the index has threads the
+  // attempts fan out on the index-owned pool — per-level single-threaded
+  // updaters, outcomes merged deterministically in the loop below.
+  struct LocalizedOutcome {
+    bool ok = false;
+    std::vector<uint32_t> core;
+    LocalizedUpdateStats ls;
+  };
+  std::vector<LocalizedOutcome> outcomes;
+  if (try_localized) {
+    outcomes.resize(options_.max_h);
+    auto attempt = [&](LocalizedUpdater& updater, int h,
+                       LocalizedOutcome& out) {
+      out.core = *prev->levels_[h - 1].core;
+      out.ok = updater.UpdateLevel(prev->graph(), g, effective, pure_insert,
+                                   h, &out.core, options_.localized, &out.ls);
+    };
+    const int fan =
+        std::min(options_.max_h, std::max(1, options_.base.num_threads));
+    if (options_.concurrent_levels && fan > 1) {
+      if (level_pool_ == nullptr) {
+        level_pool_ = std::make_unique<ThreadPool>(fan);
+      }
+      if (level_updaters_.size() < static_cast<size_t>(options_.max_h)) {
+        level_updaters_.resize(options_.max_h);
+      }
+      for (int h = 1; h <= options_.max_h; ++h) {
+        if (level_updaters_[h - 1] == nullptr) {
+          level_updaters_[h - 1] = std::make_unique<LocalizedUpdater>(1);
+        }
+      }
+      TaskGroup group(level_pool_.get());
+      for (int h = 1; h <= options_.max_h; ++h) {
+        group.Run([&attempt, this, h, &outcomes] {
+          attempt(*level_updaters_[h - 1], h, outcomes[h - 1]);
+        });
+      }
+      group.Wait();
+    } else {
+      for (int h = 1; h <= options_.max_h; ++h) {
+        attempt(updater_, h, outcomes[h - 1]);
+      }
+    }
+  }
+
+  // Phase B: merge outcomes in level order; levels whose attempt failed (or
+  // with no attempt at all) take the warm whole-graph fallback.
   std::vector<HCoreSnapshot::Level> levels(options_.max_h);
   const std::vector<uint32_t>* prev_level = nullptr;  // this epoch, h - 1
   std::vector<uint32_t> lower, upper;
@@ -211,33 +261,29 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
     const std::vector<uint32_t>* old_core =
         prev != nullptr ? prev->levels_[h - 1].core.get() : nullptr;
     HCoreSnapshot::Level& level = levels[h - 1];
-    if (try_localized) {
-      std::vector<uint32_t> core = *old_core;
-      LocalizedUpdateStats ls;
-      if (updater_.UpdateLevel(prev->graph(), g, effective, pure_insert, h,
-                               &core, options_.localized, &ls)) {
-        if (stats != nullptr) {
-          ++stats->localized_updates;
-          stats->decomposition.visited_vertices += ls.visited;
-          stats->decomposition.hdegree_computations +=
-              ls.hdegree_computations;
-          stats->decomposition.decrement_updates += ls.decrement_updates;
-        }
-        uint32_t degeneracy = 0;
-        for (const uint32_t c : core) degeneracy = std::max(degeneracy, c);
-        level.degeneracy = degeneracy;
-        if (ls.changed == 0 && core.size() == old_core->size()) {
-          // Dirty flag stayed clean: share the previous epoch's vector.
-          level.core = prev->levels_[h - 1].core;
-          level.reused = true;
-          if (stats != nullptr) ++stats->levels_unchanged;
-        } else {
-          level.core =
-              std::make_shared<const std::vector<uint32_t>>(std::move(core));
-        }
-        prev_level = level.core.get();
-        continue;
+    if (try_localized && outcomes[h - 1].ok) {
+      LocalizedOutcome& out = outcomes[h - 1];
+      if (stats != nullptr) {
+        ++stats->localized_updates;
+        stats->decomposition.visited_vertices += out.ls.visited;
+        stats->decomposition.hdegree_computations +=
+            out.ls.hdegree_computations;
+        stats->decomposition.decrement_updates += out.ls.decrement_updates;
       }
+      uint32_t degeneracy = 0;
+      for (const uint32_t c : out.core) degeneracy = std::max(degeneracy, c);
+      level.degeneracy = degeneracy;
+      if (out.ls.changed == 0 && out.core.size() == old_core->size()) {
+        // Dirty flag stayed clean: share the previous epoch's vector.
+        level.core = prev->levels_[h - 1].core;
+        level.reused = true;
+        if (stats != nullptr) ++stats->levels_unchanged;
+      } else {
+        level.core = std::make_shared<const std::vector<uint32_t>>(
+            std::move(out.core));
+      }
+      prev_level = level.core.get();
+      continue;
     }
     if (stats != nullptr && prev != nullptr) ++stats->fallback_repeels;
     resolve_order();
@@ -279,6 +325,7 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
       stats->decomposition.hdegree_computations +=
           r.stats.hdegree_computations;
       stats->decomposition.decrement_updates += r.stats.decrement_updates;
+      stats->decomposition.pops += r.stats.pops;
       stats->decomposition.partitions += r.stats.partitions;
       stats->decomposition.seconds += r.stats.seconds;
       stats->decomposition.bound_seconds += r.stats.bound_seconds;

@@ -43,6 +43,7 @@
 #include "core/incremental.h"
 #include "core/kh_core.h"
 #include "graph/graph.h"
+#include "util/thread_pool.h"
 
 namespace hcore {
 
@@ -57,6 +58,16 @@ struct HCoreIndexOptions {
   /// re-peel only the candidate region per level, falling back to the warm
   /// whole-graph re-decomposition past the region/batch caps.
   LocalizedUpdateOptions localized;
+  /// Fan the per-level localized attempts of a batch out over an
+  /// index-owned pool (min(max_h, base.num_threads) workers, created
+  /// lazily): dirty levels are independent — only the warm fallback's
+  /// spectrum chain orders them — so a multi-level batch repairs its levels
+  /// concurrently. Concurrent attempts use per-level single-threaded
+  /// updaters (level-parallelism replaces region-parallelism; nesting
+  /// pools would oversubscribe). Off, or with fewer than 2 effective
+  /// workers, attempts run serially on the shared updater. Results are
+  /// identical either way.
+  bool concurrent_levels = true;
 };
 
 /// Cumulative cost counters for one index (Table-3-style: serving queries
@@ -219,6 +230,13 @@ class HCoreIndex {
   std::shared_ptr<const HCoreSnapshot> snap_;
   HCoreIndexStats stats_;
   LocalizedUpdater updater_;  // writer-only scratch (under update_mu_)
+  // Concurrent dirty-level machinery (writer-only, under update_mu_; both
+  // lazy — serial indexes never pay for them). The pool is index-owned:
+  // fanning out on a pool shared with e.g. the serving tier could deadlock
+  // (every shared worker blocked in a Wait while the level tasks queue
+  // behind them).
+  std::unique_ptr<ThreadPool> level_pool_;
+  std::vector<std::unique_ptr<LocalizedUpdater>> level_updaters_;
 };
 
 }  // namespace hcore

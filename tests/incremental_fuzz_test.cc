@@ -43,9 +43,10 @@ enum class EditMode { kInsertOnly, kDeleteOnly, kMixed };
 /// updates to `*applied_out` (void return: gtest ASSERTs live here).
 void RunDynamicSequence(const RandomGraphSpec& spec, int h, EditMode mode,
                         const LocalizedUpdateOptions& localized, int steps,
-                        uint64_t* applied_out = nullptr) {
+                        uint64_t* applied_out = nullptr,
+                        const KhCoreOptions& base_opts = {}) {
   Graph g = MakeRandomGraph(spec);
-  KhCoreOptions opts;
+  KhCoreOptions opts = base_opts;
   opts.h = h;
   DynamicKhCore dyn(g, opts, localized);
   Rng rng(spec.seed * 9176 + static_cast<uint64_t>(h) * 131 +
@@ -94,6 +95,38 @@ TEST(DynamicFuzz, LocalizedPathMatchesFreshRunsAcrossEditModes) {
     }
   }
   EXPECT_GT(applied, 500u);
+}
+
+TEST(DynamicFuzz, ParallelPeelMatchesFreshAcrossEditModes) {
+  // The parallel leg of the satellite: mixed edit sequences where BOTH
+  // maintenance paths run the round-synchronous parallel engine — the
+  // localized region re-peel (localized.parallel) and the warm whole-graph
+  // fallback (KhCoreOptions::parallel), forced on with a floor of 1 so
+  // these small graphs exercise it. Every step must match a fresh
+  // (sequential) decomposition. The TSan CI leg runs this suite.
+  KhCoreOptions par;
+  par.num_threads = 4;
+  par.parallel = ParallelPeelMode::kOn;
+  par.parallel_min_vertices = 1;
+  uint64_t applied = 0;
+  for (const RandomGraphSpec& spec : Corpus(36, 2)) {
+    for (int h : {1, 2, 3}) {
+      // Default caps: fully localized on these graphs.
+      LocalizedUpdateOptions localized;
+      localized.parallel = ParallelPeelMode::kOn;
+      localized.parallel_min_vertices = 1;
+      RunDynamicSequence(spec, h, EditMode::kMixed, localized, 8, &applied,
+                         par);
+      if (HasFatalFailure()) return;
+      // Tiny cap: overflow pushes updates onto the parallel warm fallback.
+      LocalizedUpdateOptions tiny = localized;
+      tiny.max_region_fraction = 0.0;
+      tiny.min_region_cap = 4;
+      RunDynamicSequence(spec, h, EditMode::kMixed, tiny, 6, &applied, par);
+      if (HasFatalFailure()) return;
+    }
+  }
+  EXPECT_GT(applied, 300u);
 }
 
 TEST(DynamicFuzz, TinyRegionCapForcesFallbackMixture) {
@@ -217,6 +250,49 @@ TEST(IndexFuzz, ApplyBatchMatchesFreshAndLevelCountersBalance) {
     }
   }
   // The sweep genuinely exercised both paths.
+  EXPECT_GT(total_localized, 0u);
+  EXPECT_GT(total_fallback, 0u);
+}
+
+TEST(IndexFuzz, ConcurrentDirtyLevelsMatchFreshAndCountersBalance) {
+  // Concurrent per-level maintenance: dirty-level localized attempts fan
+  // out over the index-owned pool (concurrent_levels + base.num_threads).
+  // Results and counters must be exactly those of the serial merge — the
+  // Phase A attempts are independent, only their fan-out is concurrent.
+  constexpr int kMaxH = 3;
+  uint64_t total_localized = 0;
+  uint64_t total_fallback = 0;
+  for (const RandomGraphSpec& spec : Corpus(40, 3)) {
+    HCoreIndexOptions iopts;
+    iopts.max_h = kMaxH;
+    iopts.base.num_threads = 4;
+    iopts.concurrent_levels = true;
+    iopts.localized.max_region_fraction = 0.3;
+    iopts.localized.min_region_cap = 8;
+    iopts.localized.max_batch = 4;
+    HCoreIndex index(MakeRandomGraph(spec), iopts);
+    Rng rng(spec.seed * 1171 + 29);
+    for (int round = 0; round < 6; ++round) {
+      const int size = 1 + static_cast<int>(rng.NextIndex(6));
+      const int kind = round % 3;
+      const HCoreIndexStats before = index.stats();
+      auto batch = RandomBatch(index.snapshot()->graph(), &rng,
+                               kind == 1 ? 0 : size, kind == 0 ? 0 : size);
+      const size_t applied = index.ApplyBatch(batch);
+      const HCoreIndexStats after = index.stats();
+      const uint64_t loc = after.localized_updates - before.localized_updates;
+      const uint64_t fb = after.fallback_repeels - before.fallback_repeels;
+      ASSERT_EQ(loc + fb, applied > 0 ? static_cast<uint64_t>(kMaxH) : 0u)
+          << spec.Name() << " round=" << round;
+      total_localized += loc;
+      total_fallback += fb;
+      auto snap = index.snapshot();
+      for (int h = 1; h <= kMaxH; ++h) {
+        ASSERT_EQ(snap->Cores(h), FreshCores(snap->graph(), h))
+            << spec.Name() << " round=" << round << " h=" << h;
+      }
+    }
+  }
   EXPECT_GT(total_localized, 0u);
   EXPECT_GT(total_fallback, 0u);
 }

@@ -3,6 +3,7 @@
 //   hcore_cli decompose  --input=G.txt --h=2 [--algo=bz|lb|lbub]
 //                        [--threads=N] [--partition=S]
 //                        [--ordering=none|auto|degree|bfs]
+//                        [--parallel=auto|on|off]
 //                        [--output=cores.txt]
 //   hcore_cli stats      --input=G.txt
 //   hcore_cli spectrum   --input=G.txt --max-h=4 [--output=spectrum.txt]
@@ -43,7 +44,8 @@
 // are the deliberate exceptions (`stats reset` is new).
 //
 // The core-decomposition flags (--h, --algo/--algorithm, --threads,
-// --partition, --ordering) map 1:1 onto KhCoreOptions and apply to every
+// --partition, --ordering, --parallel) map 1:1 onto KhCoreOptions and
+// apply to every
 // command that runs a decomposition (decompose, hierarchy, spectrum,
 // hclub, community, densest, serve). `spectrum` and `serve` read the sweep
 // depth from --h-max (alias: --max-h).
@@ -143,6 +145,13 @@ KhCoreOptions CoreOptions(const Flags& flags) {
     opts.ordering = VertexOrdering::kDegreeDescending;
   } else if (ordering == "bfs") {
     opts.ordering = VertexOrdering::kBfs;
+  }
+  // Round-synchronous parallel peel; auto gates on --threads and size.
+  std::string parallel = flags.Get("parallel", "auto");
+  if (parallel == "on") {
+    opts.parallel = ParallelPeelMode::kOn;
+  } else if (parallel == "off") {
+    opts.parallel = ParallelPeelMode::kOff;
   }
   return opts;
 }
