@@ -1,5 +1,5 @@
-// Sharded serving tier throughput: point queries and cross-shard
-// component queries vs shard count.
+// Sharded serving tier: point throughput plus cross-shard component
+// latency, cold (fresh merges) vs warm (carried/spliced merges).
 //
 // Builds a ShardedHCoreService over a large clustered graph (1M vertices
 // under --full, 100k at quick scale) for shard counts {1, 2, 4, 8} and
@@ -8,11 +8,18 @@
 //   * POINT throughput: core/spectrum lookups routed to the owning shard.
 //     Expected to scale with shards — each shard snapshot has its own lazy
 //     caches and lock domains, so readers stop contending.
-//   * SCATTER-GATHER throughput: component queries at the graph's
-//     degeneracy level (small, clique-like components). Expected to PAY
-//     EXTRA as shards grow: every query scatters over all N shards and
-//     merges across the cut edges, so per-query cost rises with N — the
-//     documented price of cross-shard queries (README "Sharded serving").
+//   * COLD component latency (mean/p50/p99): component queries at the
+//     graph's degeneracy level against a freshly built tier, so every
+//     distinct (h, k) pays the full scatter-gather merge at least once —
+//     the fresh-merge baseline row.
+//   * WARM component latency (mean/p50/p99): an interleaved phase of small
+//     ApplyBatch rounds followed by query bursts. Publish-time carry /
+//     splice / pre-merge (README "Sharded serving") should keep the merge
+//     cache hot across batches, so warm latency must NOT regress past the
+//     cold row: --check-warm exits 1 if any multi-shard warm mean exceeds
+//     2x that row's cold mean. splice_ratio reports the fraction of
+//     post-batch merge constructions the carry protocol avoided doing from
+//     scratch: (carried + spliced) / (carried + spliced + misses).
 //
 // --json=PATH writes the rows as a JSON artifact (BENCH_serve.json in CI,
 // uploaded next to BENCH_incremental.json).
@@ -36,6 +43,13 @@ using namespace hcore;
 
 constexpr int kClientThreads = 4;
 
+struct LatencyStats {
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
 struct Row {
   int shards = 0;
   VertexId n = 0;
@@ -43,8 +57,9 @@ struct Row {
   size_t cut_edges = 0;
   double build_s = 0.0;
   double point_qps = 0.0;
-  double component_qps = 0.0;
-  double component_ms = 0.0;
+  LatencyStats cold;
+  LatencyStats warm;
+  double splice_ratio = 0.0;
 };
 
 /// Runs `body(thread_id, rng)` from kClientThreads threads for `per_thread`
@@ -68,6 +83,56 @@ double Hammer(int per_thread, uint64_t seed, const Body& body) {
   return seconds > 0 ? static_cast<double>(done.load()) / seconds : 0.0;
 }
 
+/// Like Hammer, but times every call and appends the per-query latencies
+/// (milliseconds) to `*latencies_ms` — percentiles are computed by the
+/// caller over the whole phase, which may span several HammerLatency runs.
+template <typename Body>
+double HammerLatency(int per_thread, uint64_t seed,
+                     std::vector<double>* latencies_ms, const Body& body) {
+  std::vector<std::vector<double>> per_thread_lat(kClientThreads);
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(seed + static_cast<uint64_t>(t) * 7717);
+      per_thread_lat[t].reserve(static_cast<size_t>(per_thread));
+      for (int i = 0; i < per_thread; ++i) {
+        WallTimer query_timer;
+        body(t, &rng);
+        per_thread_lat[t].push_back(1000.0 * query_timer.ElapsedSeconds());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double seconds = timer.ElapsedSeconds();
+  uint64_t total = 0;
+  for (auto& lat : per_thread_lat) {
+    total += lat.size();
+    latencies_ms->insert(latencies_ms->end(), lat.begin(), lat.end());
+  }
+  return seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
+}
+
+/// Sorts `latencies_ms` and folds it into mean/p50/p99.
+LatencyStats Summarize(double qps, std::vector<double>* latencies_ms) {
+  LatencyStats out;
+  out.qps = qps;
+  if (latencies_ms->empty()) return out;
+  std::sort(latencies_ms->begin(), latencies_ms->end());
+  double sum = 0.0;
+  for (double ms : *latencies_ms) sum += ms;
+  out.mean_ms = sum / static_cast<double>(latencies_ms->size());
+  auto pct = [&](double p) {
+    const size_t idx = std::min(
+        latencies_ms->size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_ms->size())));
+    return (*latencies_ms)[idx];
+  };
+  out.p50_ms = pct(0.50);
+  out.p99_ms = pct(0.99);
+  return out;
+}
+
 void WriteJson(const char* path, VertexId n, const std::vector<Row>& rows) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -82,10 +147,14 @@ void WriteJson(const char* path, VertexId n, const std::vector<Row>& rows) {
     std::fprintf(
         f,
         "    {\"shards\": %d, \"cut_edges\": %zu, \"build_s\": %.3f, "
-        "\"point_qps\": %.0f, \"component_qps\": %.1f, "
-        "\"component_ms\": %.3f}%s\n",
-        r.shards, r.cut_edges, r.build_s, r.point_qps, r.component_qps,
-        r.component_ms, i + 1 < rows.size() ? "," : "");
+        "\"point_qps\": %.0f, \"cold_qps\": %.1f, \"cold_mean_ms\": %.3f, "
+        "\"cold_p50_ms\": %.3f, \"cold_p99_ms\": %.3f, \"warm_qps\": %.1f, "
+        "\"warm_mean_ms\": %.3f, \"warm_p50_ms\": %.3f, "
+        "\"warm_p99_ms\": %.3f, \"splice_ratio\": %.3f}%s\n",
+        r.shards, r.cut_edges, r.build_s, r.point_qps, r.cold.qps,
+        r.cold.mean_ms, r.cold.p50_ms, r.cold.p99_ms, r.warm.qps,
+        r.warm.mean_ms, r.warm.p50_ms, r.warm.p99_ms, r.splice_ratio,
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -122,10 +191,12 @@ Graph Clustered(VertexId n, Rng* rng) {
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseArgs(argc, argv);
   const char* json_path = nullptr;
+  bool check_warm = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strcmp(argv[i], "--check-warm") == 0) check_warm = true;
   }
-  bench::PrintHeader("Sharded serving: point vs scatter-gather throughput");
+  bench::PrintHeader("Sharded serving: point, cold vs warm scatter-gather");
 
   // Clustered substrate: collaboration-style graph whose innermost cores
   // are clique-sized, so degeneracy-level component queries return small
@@ -142,11 +213,20 @@ int main(int argc, char** argv) {
   std::printf("graph: n=%u m=%llu  (%s)\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()),
               args.full ? "full scale" : "quick scale");
-  std::printf("%-7s %10s %9s %12s %14s %14s\n", "shards", "cut_edges",
-              "build_s", "point_qps", "component_qps", "component_ms");
+  std::printf("%-7s %9s %9s %11s %9s %9s %9s %9s %7s\n", "shards",
+              "cut_edges", "build_s", "point_qps", "cold_ms", "cold_p99",
+              "warm_ms", "warm_p99", "splice");
 
   const int point_per_thread = args.full ? 200000 : 100000;
   const int comp_per_thread = args.full ? 40 : 25;
+  // Interleaved phase: `rounds` small batches, each followed by a query
+  // burst against the freshly published view. Batches churn random pairs
+  // among existing vertices (half inserts, half deletes), so the carry
+  // protocol sees both cut-edge growth and level-local core movement.
+  const int warm_rounds = args.full ? 6 : 4;
+  const int warm_per_thread = std::max(8, comp_per_thread / 2);
+  const int batch_edits = 48;
+
   std::vector<Row> rows;
   for (int shards : {1, 2, 4, 8}) {
     ShardedServiceOptions opts;
@@ -175,26 +255,92 @@ int main(int argc, char** argv) {
     // "My community" shape: each query asks for the component of the
     // vertex's own innermost core, so every query pays the full
     // scatter-gather (no empty-answer early outs) and answers are
-    // community-sized.
-    row.component_qps = Hammer(comp_per_thread, 23, [&](int, Rng* rng) {
-      const VertexId v = rng->NextIndex(row.n);
-      const uint32_t k = std::max(1u, view->CoreOf(v, 2));
-      (void)view->CoreComponentOf(v, k, 2);
-    });
-    // Mean per-query latency: each in-flight query occupies one of the
-    // kClientThreads concurrent clients, so latency = threads / throughput
-    // (NOT 1/throughput, which is wall time per completed query across all
-    // clients).
-    row.component_ms =
-        row.component_qps > 0 ? 1000.0 * kClientThreads / row.component_qps
-                              : 0;
+    // community-sized. COLD: fresh tier, first touch of every (h, k)
+    // builds its merge from scratch.
+    std::vector<double> cold_lat;
+    const double cold_qps =
+        HammerLatency(comp_per_thread, 23, &cold_lat, [&](int, Rng* rng) {
+          const VertexId v = rng->NextIndex(row.n);
+          const uint32_t k = std::max(1u, service.CoreOf(v, 2));
+          (void)service.CoreComponentOf(v, k, 2);
+        });
+    row.cold = Summarize(cold_qps, &cold_lat);
 
-    std::printf("%-7d %10zu %9.2f %12.0f %14.1f %14.3f\n", shards,
-                row.cut_edges, row.build_s, row.point_qps, row.component_qps,
-                row.component_ms);
+    // WARM: interleave small edit batches with query bursts. Queries go
+    // through the service so each burst sees the batch's freshly published
+    // (carried/spliced/pre-merged) view.
+    const ScatterGatherStats before = service.stats().gather;
+    std::vector<double> warm_lat;
+    double warm_qps_sum = 0.0;
+    for (int round = 0; round < warm_rounds; ++round) {
+      std::vector<EdgeEdit> batch;
+      Rng batch_rng(1009 + static_cast<uint64_t>(round) * 131 +
+                    static_cast<uint64_t>(shards));
+      for (int e = 0; e < batch_edits; ++e) {
+        const VertexId u = batch_rng.NextIndex(row.n);
+        const VertexId w = batch_rng.NextIndex(row.n);
+        batch.push_back(e % 2 == 0 ? EdgeEdit::Insert(u, w)
+                                   : EdgeEdit::Delete(u, w));
+      }
+      (void)service.ApplyBatch(batch);
+      warm_qps_sum += HammerLatency(
+          warm_per_thread, 29 + static_cast<uint64_t>(round), &warm_lat,
+          [&](int, Rng* rng) {
+            const VertexId v = rng->NextIndex(row.n);
+            const uint32_t k = std::max(1u, service.CoreOf(v, 2));
+            (void)service.CoreComponentOf(v, k, 2);
+          });
+    }
+    row.warm = Summarize(warm_qps_sum / warm_rounds, &warm_lat);
+    const ScatterGatherStats after = service.stats().gather;
+    const uint64_t carried = after.merges_carried - before.merges_carried;
+    const uint64_t spliced = after.merges_spliced - before.merges_spliced;
+    const uint64_t misses = after.merge_misses - before.merge_misses;
+    const uint64_t saved = carried + spliced;
+    row.splice_ratio =
+        saved + misses > 0
+            ? static_cast<double>(saved) / static_cast<double>(saved + misses)
+            : 0.0;
+
+    std::printf("%-7d %9zu %9.2f %11.0f %9.3f %9.3f %9.3f %9.3f %7.2f\n",
+                shards, row.cut_edges, row.build_s, row.point_qps,
+                row.cold.mean_ms, row.cold.p99_ms, row.warm.mean_ms,
+                row.warm.p99_ms, row.splice_ratio);
     rows.push_back(row);
   }
 
+  // The tentpole target: with carried merges, the multi-shard premium
+  // shows up cold but must NOT persist warm. Report warm vs the
+  // single-shard warm row for context.
+  const Row* single = nullptr;
+  for (const Row& r : rows) {
+    if (r.shards == 1) single = &r;
+  }
+  if (single != nullptr && single->warm.mean_ms > 0) {
+    for (const Row& r : rows) {
+      if (r.shards == 1) continue;
+      std::printf("warm %d-shard / 1-shard mean: %.2fx\n", r.shards,
+                  r.warm.mean_ms / single->warm.mean_ms);
+    }
+  }
+
   if (json_path != nullptr) WriteJson(json_path, n, rows);
+
+  if (check_warm) {
+    bool ok = true;
+    for (const Row& r : rows) {
+      if (r.shards == 1 || r.cold.mean_ms <= 0) continue;
+      if (r.warm.mean_ms > 2.0 * r.cold.mean_ms) {
+        std::fprintf(stderr,
+                     "FAIL: %d-shard warm mean %.3f ms exceeds 2x cold mean "
+                     "%.3f ms — carried merges regressed past fresh merges\n",
+                     r.shards, r.warm.mean_ms, r.cold.mean_ms);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("check-warm: carried-merge latency within 2x of fresh "
+                "merges on every multi-shard row\n");
+  }
   return 0;
 }

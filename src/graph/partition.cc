@@ -27,7 +27,12 @@ std::vector<CutEdge> ExtractCutEdges(const Graph& g,
 
 void SpliceCutEdges(std::vector<CutEdge>* cut,
                     std::span<const EdgeEdit> effective,
-                    const VertexPartition& partition) {
+                    const VertexPartition& partition,
+                    CutEdgeDelta* delta) {
+  if (delta != nullptr) {
+    delta->added.clear();
+    delta->removed.clear();
+  }
   if (partition.num_shards() == 1) return;
   std::vector<CutEdge> added;
   std::vector<CutEdge> removed;
@@ -39,6 +44,10 @@ void SpliceCutEdges(std::vector<CutEdge>* cut,
   if (added.empty() && removed.empty()) return;
   std::sort(added.begin(), added.end());
   std::sort(removed.begin(), removed.end());
+  if (delta != nullptr) {
+    delta->added = added;
+    delta->removed = removed;
+  }
 
   std::vector<CutEdge> next;
   next.reserve(cut->size() + added.size());

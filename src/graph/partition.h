@@ -62,6 +62,19 @@ class VertexPartition {
 /// A cut edge in canonical (u < v) form.
 using CutEdge = std::pair<VertexId, VertexId>;
 
+/// The exact change SpliceCutEdges made to the cut set: which cut edges a
+/// batch added and which it removed (canonical, sorted ascending). The
+/// incremental cross-shard merge maintenance (serve/sharded_service.h)
+/// consumes the DELTA — not the new set — to decide which memoized merges a
+/// batch can carry forward untouched, which only need their union-find
+/// re-seeded, and which must re-merge.
+struct CutEdgeDelta {
+  std::vector<CutEdge> added;
+  std::vector<CutEdge> removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
 /// All edges of `g` that cross shards, canonical and sorted ascending.
 /// One O(m) pass.
 std::vector<CutEdge> ExtractCutEdges(const Graph& g,
@@ -73,10 +86,13 @@ std::vector<CutEdge> ExtractCutEdges(const Graph& g,
 /// effective edits against the graph the set was extracted from (u < v,
 /// deduplicated, no no-ops — exactly what Graph::CanonicalEffectiveEdits /
 /// Graph::WithEdits report), so the splice is exact by construction.
-/// O(cut + |effective| log |effective|); sortedness is preserved.
+/// O(cut + |effective| log |effective|); sortedness is preserved. When
+/// `delta` is non-null it receives exactly the cut edges that entered and
+/// left the set (cleared first).
 void SpliceCutEdges(std::vector<CutEdge>* cut,
                     std::span<const EdgeEdit> effective,
-                    const VertexPartition& partition);
+                    const VertexPartition& partition,
+                    CutEdgeDelta* delta = nullptr);
 
 }  // namespace hcore
 

@@ -6,6 +6,31 @@
 #include "graph/ordering.h"
 
 namespace hcore {
+namespace {
+
+/// The shared "level untouched" summary (reused levels all point here).
+const std::shared_ptr<const std::vector<CoreDelta>>& EmptyDelta() {
+  static const auto kEmpty = std::make_shared<const std::vector<CoreDelta>>();
+  return kEmpty;
+}
+
+/// Exact per-level diff: every vertex whose core changed, with before and
+/// after values. Vertices the batch created (beyond the old vector) diff
+/// against an implicit old core of 0 — they were in no level set before.
+std::shared_ptr<const std::vector<CoreDelta>> DiffCores(
+    const std::vector<uint32_t>& old_core,
+    const std::vector<uint32_t>& new_core) {
+  auto delta = std::make_shared<std::vector<CoreDelta>>();
+  for (size_t v = 0; v < new_core.size(); ++v) {
+    const uint32_t before = v < old_core.size() ? old_core[v] : 0;
+    if (before != new_core[v]) {
+      delta->push_back({static_cast<VertexId>(v), before, new_core[v]});
+    }
+  }
+  return delta;
+}
+
+}  // namespace
 
 void HCoreIndexStats::Add(const HCoreIndexStats& other) {
   csr_rebuilds += other.csr_rebuilds;
@@ -66,6 +91,16 @@ uint32_t HCoreSnapshot::Degeneracy(int h) const {
 bool HCoreSnapshot::LevelReused(int h) const {
   HCORE_CHECK(h >= 1 && h <= max_h());
   return levels_[h - 1].reused;
+}
+
+bool HCoreSnapshot::LevelDeltaKnown(int h) const {
+  HCORE_CHECK(h >= 1 && h <= max_h());
+  return levels_[h - 1].delta != nullptr;
+}
+
+std::span<const CoreDelta> HCoreSnapshot::LevelDelta(int h) const {
+  HCORE_CHECK(LevelDeltaKnown(h));
+  return *levels_[h - 1].delta;
 }
 
 const CoreHierarchy& HCoreSnapshot::Hierarchy(int h) const {
@@ -277,8 +312,10 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
         // Dirty flag stayed clean: share the previous epoch's vector.
         level.core = prev->levels_[h - 1].core;
         level.reused = true;
+        level.delta = EmptyDelta();
         if (stats != nullptr) ++stats->levels_unchanged;
       } else {
+        level.delta = DiffCores(*old_core, out.core);
         level.core = std::make_shared<const std::vector<uint32_t>>(
             std::move(out.core));
       }
@@ -335,8 +372,10 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
       // Dirty flag stayed clean: share the previous epoch's vector.
       level.core = prev->levels_[h - 1].core;
       level.reused = true;
+      level.delta = EmptyDelta();
       if (stats != nullptr) ++stats->levels_unchanged;
     } else {
+      if (old_core != nullptr) level.delta = DiffCores(*old_core, r.core);
       level.core =
           std::make_shared<const std::vector<uint32_t>>(std::move(r.core));
     }

@@ -98,6 +98,19 @@ struct HCoreIndexStats {
   void Add(const HCoreIndexStats& other);
 };
 
+/// One vertex whose core index changed across the batch that produced an
+/// epoch, at one level: the exact before/after values. The per-level delta
+/// lists are the index's changed-vertex summaries — downstream maintenance
+/// (the sharded tier's incremental cross-shard merge) uses them to decide
+/// which derived artifacts a batch actually invalidated, at the granularity
+/// of a single core level k (a vertex only changes level-k membership when
+/// its core crosses k).
+struct CoreDelta {
+  VertexId v = 0;
+  uint32_t old_core = 0;  // 0 for vertices the batch created
+  uint32_t new_core = 0;
+};
+
 /// One immutable epoch of the index. Thread-safe for concurrent readers;
 /// obtained from HCoreIndex::snapshot() and valid for as long as the
 /// shared_ptr is held, across any number of concurrent updates.
@@ -122,6 +135,17 @@ class HCoreSnapshot {
   /// True if this epoch reused the previous epoch's core vector for level h
   /// (the batch left it unchanged; the vectors are physically shared).
   bool LevelReused(int h) const;
+
+  /// True when this epoch carries an exact changed-vertex summary for level
+  /// h: every vertex whose core_h differs from the previous epoch is listed
+  /// in LevelDelta(h) (vertices the batch created are listed with
+  /// old_core = 0 when their new core is nonzero). False only for epoch 0,
+  /// where there is no previous epoch to diff against.
+  bool LevelDeltaKnown(int h) const;
+
+  /// The changed-vertex summary for level h (empty when the level was
+  /// reused). Requires LevelDeltaKnown(h). Sorted ascending by vertex.
+  std::span<const CoreDelta> LevelDelta(int h) const;
 
   /// Core-component dendrogram at level h. Built lazily on first call and
   /// cached for the lifetime of the snapshot.
@@ -157,6 +181,9 @@ class HCoreSnapshot {
     std::shared_ptr<const std::vector<uint32_t>> core;
     uint32_t degeneracy = 0;
     bool reused = false;
+    // Exact diff against the previous epoch's core vector; null = unknown
+    // (epoch 0), empty = level untouched by the batch.
+    std::shared_ptr<const std::vector<CoreDelta>> delta;
   };
 
   /// Cached per-level aggregates: suffix counts over k in [0, degeneracy].

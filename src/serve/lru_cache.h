@@ -1,0 +1,86 @@
+// Small exact-LRU cache for the serving tier's memoized artifacts.
+//
+// The merge and scatter caches of serve/sharded_service.h hold a handful of
+// heavy, deterministic, shareable values (cross-shard merges, per-shard
+// component summaries) keyed by small tuples. They need: O(log cache)
+// lookup, O(1) recency bump, O(1) eviction of the exact least-recently-used
+// entry, and stable iteration in recency order so a successor view can
+// carry entries forward most-valuable-first. A doubly-linked recency list
+// (MRU at the front) plus a key -> list-iterator index gives all four;
+// std::list iterators survive splice, so a bump never invalidates the
+// index.
+//
+// Not thread-safe: callers guard every method with their own mutex (the
+// view's merge_mu_).
+
+#ifndef HCORE_SERVE_LRU_CACHE_H_
+#define HCORE_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace hcore {
+
+/// Exact-LRU map from Key to Value with a fixed capacity. Value is expected
+/// to be cheap to copy (the serving tier stores shared_ptrs). A cap of 0
+/// stores nothing: Get always misses and Put hands the value straight back.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t cap = 0) : cap_(cap) {}
+
+  size_t cap() const { return cap_; }
+  size_t size() const { return index_.size(); }
+
+  /// The resident value for `key`, bumped to most-recently-used — or a
+  /// default-constructed Value when absent.
+  Value Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return Value{};
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts `value` under `key` (evicting the exact least-recently-used
+  /// entry when past the cap) and returns the RESIDENT value: when the key
+  /// is already present the incumbent wins and is bumped instead.
+  /// Deterministic producers racing on one key thereby all converge on
+  /// whichever result landed first.
+  Value Put(const Key& key, Value value) {
+    if (cap_ == 0) return value;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return it->second->value;
+    }
+    entries_.push_front(Entry{key, std::move(value)});
+    index_.emplace(key, entries_.begin());
+    if (index_.size() > cap_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+    }
+    return entries_.front().value;
+  }
+
+  /// Visits every (key, value) pair, most-recently-used first.
+  template <typename Fn>
+  void ForEachMruFirst(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.key, e.value);
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  size_t cap_ = 0;
+  std::list<Entry> entries_;  // MRU at the front
+  std::map<Key, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace hcore
+
+#endif  // HCORE_SERVE_LRU_CACHE_H_

@@ -25,6 +25,34 @@
 //     concurrent readers observe either every shard after the batch or
 //     every shard before it — never a mix.
 //
+// Incremental cross-shard maintenance: merged component structure is NOT
+// rebuilt per view. When ApplyBatch publishes the next view it carries the
+// previous view's memoized merges forward, using the index's per-level
+// changed-vertex summaries (HCoreSnapshot::LevelDelta) plus the cut-edge
+// splice delta to classify each memoized (h, k) merge:
+//
+//   * CARRY — no owned vertex of any shard crossed level k, no intra-shard
+//     edit touches the level-k subgraph, and no relevant cut edge was added
+//     or removed: the merge is byte-identical by construction and the entry
+//     is shared by pointer.
+//   * INCREMENTAL UNION — every per-shard summary is still valid and only
+//     cut edges were ADDED at this level: the previous union-find forest is
+//     re-seeded with just the added edges (a union-find can grow but never
+//     unsplit, so removals disqualify this path).
+//   * SPLICE — some shards' summaries went stale: only those shards are
+//     re-scattered, valid summaries are reused, and one full union pass
+//     over the new cut set rebuilds the roots.
+//   * DROP — the stale-fragment fraction exceeds
+//     ShardedServiceOptions::carry_budget_fraction: carrying would cost
+//     about as much as a fresh merge, so the entry is rebuilt on demand.
+//
+// Per-shard scatters are additionally cached per (shard, h, k) and carried
+// across views under the same per-level validity test (not per-epoch), so
+// even a dropped or evicted merge rebuilds only the shards a batch touched.
+// The hottest (h, k) keys (per-key hit counters, halved each epoch) are
+// PRE-MERGED at publish time so steady-state readers of a mutating graph
+// never pay a gather at all.
+//
 // Storage model (deliberate, documented): each shard's HCoreIndex holds a
 // full replica of the graph. Exact (k,h)-cores are a global fixpoint — a
 // vertex's core index can depend on edges arbitrarily far away — so a shard
@@ -46,12 +74,14 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "apps/community.h"
 #include "graph/partition.h"
 #include "index/hcore_index.h"
+#include "serve/lru_cache.h"
 #include "util/thread_pool.h"
 
 namespace hcore {
@@ -67,6 +97,20 @@ struct ShardedServiceOptions {
   /// this multiplies with index.base.num_threads, which each shard's
   /// decompositions use internally.
   int apply_threads = 0;
+  /// Capacity of each view's memoized-merge LRU (entries can hold O(core
+  /// vertices); low levels approach n each). The per-shard scatter cache
+  /// holds up to num_shards times as many summaries.
+  size_t merge_cache_cap = 64;
+  /// Carry-forward budget: a memoized merge whose stale-fragment fraction
+  /// exceeds this is dropped (rebuilt on demand) instead of spliced.
+  /// 1.0 splices no matter how stale; 0.0 keeps only free carries and
+  /// incremental unions; NEGATIVE disables cross-view carrying and
+  /// pre-merging entirely — every view rebuilds from scratch, the
+  /// pre-incremental behavior the differential tests compare against.
+  double carry_budget_fraction = 0.5;
+  /// Pre-merge up to this many of the hottest (h, k) keys at publish time
+  /// (keys with a decayed hit count of zero never qualify). 0 disables.
+  size_t hot_premerge = 8;
 };
 
 /// Gather-side work counters for the scatter-gather protocol.
@@ -74,13 +118,33 @@ struct ScatterGatherStats {
   /// Cross-shard queries served (component + community).
   uint64_t component_queries = 0;
   uint64_t community_queries = 0;
-  /// Per-shard component summaries produced across all merges.
+  /// Per-shard component summaries built from scratch, and summaries
+  /// reused from a carried merge or the (shard, h, k) scatter cache.
   uint64_t shard_scatters = 0;
+  uint64_t scatter_hits = 0;
   /// Fragments reported by the scatters (union-find elements at the
   /// gather).
   uint64_t fragments_merged = 0;
   /// Cut edges scanned by gather-side merges.
   uint64_t cut_edges_scanned = 0;
+  /// Memoized-merge consultations: queries served straight from the merge
+  /// cache vs. queries that had to build the merge.
+  uint64_t merge_hits = 0;
+  uint64_t merge_misses = 0;
+  /// Publish-time maintenance outcomes: merges carried forward untouched
+  /// (pointer-shared), merges spliced (incremental union or partial
+  /// re-scatter + full union pass), and hot merges built eagerly.
+  uint64_t merges_carried = 0;
+  uint64_t merges_spliced = 0;
+  uint64_t merges_premerged = 0;
+
+  /// Field-wise accumulation — the ONE place that knows every counter.
+  /// Balance invariant (asserted in tests): every merge CONSTRUCTION
+  /// (merge_misses + merges_spliced + merges_premerged) consults all
+  /// num_shards summaries, each a scatter_hit or a shard_scatter, so
+  ///   scatter_hits + shard_scatters ==
+  ///       num_shards * (merge_misses + merges_spliced + merges_premerged).
+  void Add(const ScatterGatherStats& other);
 };
 
 /// Cumulative tier counters: per-shard index stats plus the gather-side
@@ -164,6 +228,11 @@ class ShardedServiceView {
  private:
   friend class ShardedHCoreService;
 
+  /// Memoized-merge key: (h, k).
+  using MergeKey = std::pair<int, uint32_t>;
+  /// Per-shard scatter key: (shard, h, k).
+  using ScatterKey = std::tuple<int, int, uint32_t>;
+
   /// One shard's contribution to a cross-shard merge: its owned vertices
   /// with core_h >= k, each labeled with a shard-local fragment id (the
   /// fragments are the components of the induced subgraph on those owned
@@ -178,8 +247,10 @@ class ShardedServiceView {
   };
 
   /// The gather result: global fragment labeling after the cut-edge merge.
+  /// Summaries are held by shared_ptr so a spliced successor merge can
+  /// reuse the still-valid ones without copying.
   struct MergedComponents {
-    std::vector<ComponentSummary> shard;  // one summary per shard
+    std::vector<std::shared_ptr<const ComponentSummary>> shard;  // per shard
     std::vector<uint32_t> fragment_base;  // global id = base[s] + local
     std::vector<uint32_t> fragment_root;  // union-find roots, path-compressed
 
@@ -192,50 +263,81 @@ class ShardedServiceView {
     std::vector<VertexId> MembersOfRoot(uint32_t root) const;
   };
 
+  /// Ownership is epoch-stable, so it is materialized once (O(n)) and
+  /// SHARED across successor views while the vertex count holds:
+  /// owner_of[v] is v's shard, owned[s] lists s's vertices ascending.
+  struct OwnershipIndex {
+    std::vector<uint32_t> owner_of;
+    std::vector<std::vector<VertexId>> owned;
+  };
+
   ShardedServiceView(std::vector<std::shared_ptr<const HCoreSnapshot>> snaps,
                      std::vector<CutEdge> cut_edges, VertexPartition partition,
-                     uint64_t service_epoch, std::shared_ptr<ThreadPool> pool);
+                     uint64_t service_epoch, std::shared_ptr<ThreadPool> pool,
+                     size_t merge_cache_cap,
+                     std::shared_ptr<const OwnershipIndex> ownership);
 
   const HCoreSnapshot& LevelShard(int h) const {
     return *snapshots_[(h - 1) % num_shards()];
   }
 
-  /// SCATTER: shard `s`'s ComponentSummary at level (k, h).
-  ComponentSummary ShardFragments(int s, uint32_t k, int h) const;
+  /// SCATTER: builds shard `s`'s ComponentSummary at level (k, h) from its
+  /// snapshot (no caches consulted).
+  ComponentSummary BuildShardFragments(int s, uint32_t k, int h) const;
 
-  /// GATHER: scatter every shard, then union fragments across the cut
-  /// edges whose endpoints both survive at level (k, h). Memoized per
-  /// (h, k) for the lifetime of the view (the view is immutable, so a
-  /// level's merge never changes); `stats` moves only on cache misses —
-  /// the counters report real protocol work, not hits.
+  /// GATHER construction: one summary per shard (scatter cache consulted
+  /// under merge_mu_, misses fanned out on the pool), then one union pass
+  /// over the cut edges surviving at level (k, h). Counts a scatter_hit or
+  /// shard_scatter per shard.
+  std::shared_ptr<const MergedComponents> BuildMerge(
+      uint32_t k, int h, ScatterGatherStats* stats) const;
+
+  /// The summaries' union pass: assigns fragment_base, unions fragments
+  /// across the cut edges whose endpoints both survive at level (k, h),
+  /// and path-compresses the roots. Core membership of each endpoint is
+  /// read from its OWNER's summary, so the gather never touches non-owned
+  /// shard state.
+  void FinishMerge(MergedComponents* merged, ScatterGatherStats* stats) const;
+
+  /// GATHER: the memoized entry for (h, k) — built via BuildMerge on a
+  /// miss. Every consultation bumps the key's hot counter; `stats` records
+  /// the hit or miss plus any construction work.
   std::shared_ptr<const MergedComponents> Merge(uint32_t k, int h,
                                                 ScatterGatherStats* stats)
       const;
+
+  /// Publish-time incremental maintenance (called by the service on the
+  /// not-yet-published successor of `prev`, after the batch and cut splice):
+  /// classifies every memoized merge of `prev` as carry / incremental
+  /// union / splice / drop using the per-level changed-vertex summaries and
+  /// `cut_delta`, carries still-valid per-shard scatters, inherits decayed
+  /// hot counters, and pre-merges up to `hot_premerge` hot keys. No-op for
+  /// single-shard views or a negative `budget`.
+  void CarryFrom(const ShardedServiceView& prev,
+                 std::span<const EdgeEdit> effective,
+                 const CutEdgeDelta& cut_delta, double budget,
+                 size_t hot_premerge, ScatterGatherStats* stats) const;
 
   std::vector<std::shared_ptr<const HCoreSnapshot>> snapshots_;
   std::vector<uint64_t> shard_epochs_;
   std::vector<CutEdge> cut_edges_;
   VertexPartition partition_;
   uint64_t service_epoch_ = 0;
-  // Ownership is epoch-stable, so the view materializes it once (O(n))
-  // instead of re-hashing every vertex on every scatter of every level:
-  // owner_of_[v] is v's shard, owned_[s] lists s's vertices ascending.
-  std::vector<uint32_t> owner_of_;
-  std::vector<std::vector<VertexId>> owned_;
+  std::shared_ptr<const OwnershipIndex> ownership_;
   // Shared with the service so the scatter can fan out per shard; views
   // may outlive the service, hence the shared ownership. Null = inline.
   std::shared_ptr<ThreadPool> pool_;
-  // Lazily built merges, keyed by (h, k), LRU-capped (an entry can hold
-  // O(core vertices), and low levels approach n each). Guarded: views are
-  // shared by concurrent readers.
-  static constexpr size_t kMergeCacheCap = 16;
-  struct MergeCacheEntry {
-    std::shared_ptr<const MergedComponents> merged;
-    uint64_t last_used = 0;
-  };
+  // Memoized merges keyed by (h, k) and per-shard scatters keyed by
+  // (shard, h, k), both exact-LRU (serve/lru_cache.h) and both carried
+  // forward across views by CarryFrom. hot_hits_ ranks keys for the
+  // publish-time pre-merge. Guarded: views are shared by concurrent
+  // readers.
   mutable std::mutex merge_mu_;
-  mutable std::map<std::pair<int, uint32_t>, MergeCacheEntry> merge_cache_;
-  mutable uint64_t merge_clock_ = 0;
+  mutable LruCache<MergeKey, std::shared_ptr<const MergedComponents>>
+      merge_cache_;
+  mutable LruCache<ScatterKey, std::shared_ptr<const ComponentSummary>>
+      scatter_cache_;
+  mutable std::map<MergeKey, uint64_t> hot_hits_;
 };
 
 /// The serving tier. Thread-safe: any number of concurrent readers (view()
@@ -256,10 +358,11 @@ class ShardedHCoreService {
 
   /// Applies one edit batch tier-wide: canonicalizes the batch against the
   /// current epoch, fans the application out over every shard on the pool,
-  /// splices the cut-edge set, and atomically publishes the next epoch
-  /// vector. Returns the number of effective edits (0 publishes nothing).
-  /// Readers holding older views are never blocked and never see a partial
-  /// batch.
+  /// splices the cut-edge set, runs the incremental merge maintenance
+  /// (CarryFrom) on the successor view, and atomically publishes the next
+  /// epoch vector. Returns the number of effective edits (0 publishes
+  /// nothing). Readers holding older views are never blocked and never see
+  /// a partial batch.
   size_t ApplyBatch(std::span<const EdgeEdit> edits);
 
   /// Convenience wrappers over the current view; the scatter-gather ones
@@ -268,7 +371,8 @@ class ShardedHCoreService {
   std::vector<VertexId> CoreComponentOf(VertexId v, uint32_t k, int h) const;
   CommunityResult Community(const std::vector<VertexId>& query, int h) const;
 
-  /// Cumulative per-shard and gather-side counters.
+  /// Cumulative per-shard and gather-side counters (publish-time carry /
+  /// splice / premerge work is accumulated here by ApplyBatch).
   ShardedServiceStats stats() const;
 
   /// Zeroes every shard's counters and the gather-side counters (epochs and

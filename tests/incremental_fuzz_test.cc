@@ -297,11 +297,40 @@ TEST(IndexFuzz, ConcurrentDirtyLevelsMatchFreshAndCountersBalance) {
   EXPECT_GT(total_fallback, 0u);
 }
 
+/// Reference component: BFS from `v` restricted to vertices whose fresh
+/// core reaches `k` — the oracle for the tier's scatter-gather answers.
+std::vector<VertexId> ReferenceComponent(const Graph& g,
+                                         const std::vector<uint32_t>& core,
+                                         VertexId v, uint32_t k) {
+  if (core[v] < k) return {};
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> stack{v};
+  std::vector<VertexId> out;
+  seen[v] = true;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (VertexId w : g.neighbors(u)) {
+      if (!seen[w] && core[w] >= k) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 /// One sharded fuzz sequence: random batches through the tier, exact
 /// equality against a fresh decomposition of the served graph after every
-/// step, epoch vector in lockstep throughout.
+/// step, epoch vector in lockstep throughout. Component queries run BEFORE
+/// each batch (so the publish-time maintenance has merges to carry or
+/// splice under `carry_budget`) and are re-checked against a reference BFS
+/// AFTER it — the carried answers must stay exact.
 void RunShardedSequence(const RandomGraphSpec& spec, int shards,
-                        EditMode mode, int steps) {
+                        EditMode mode, int steps, double carry_budget = 0.5,
+                        size_t premerge = 4) {
   constexpr int kMaxH = 3;
   ShardedServiceOptions opts;
   opts.num_shards = shards;
@@ -310,11 +339,23 @@ void RunShardedSequence(const RandomGraphSpec& spec, int shards,
   opts.index.localized.max_region_fraction = 0.3;
   opts.index.localized.min_region_cap = 8;
   opts.index.localized.max_batch = 4;
+  opts.carry_budget_fraction = carry_budget;
+  opts.hot_premerge = premerge;
   ShardedHCoreService service(MakeRandomGraph(spec), opts);
   Rng rng(spec.seed * 6271 + static_cast<uint64_t>(shards) * 37 +
           static_cast<uint64_t>(mode));
   for (int step = 0; step < steps; ++step) {
     auto view = service.view();
+    {
+      // Warm the merge caches the batch will have to maintain.
+      const VertexId n = view->graph().num_vertices();
+      for (int h = 1; h <= kMaxH; ++h) {
+        for (VertexId v : {VertexId{0}, n / 2}) {
+          (void)view->CoreComponentOf(v, 0, h);
+          (void)view->CoreComponentOf(v, view->CoreOf(v, h), h);
+        }
+      }
+    }
     const int size = 1 + static_cast<int>(rng.NextIndex(5));
     const bool insert_only = mode == EditMode::kInsertOnly;
     const bool delete_only = mode == EditMode::kDeleteOnly;
@@ -328,10 +369,21 @@ void RunShardedSequence(const RandomGraphSpec& spec, int shards,
     }
     for (int h = 1; h <= kMaxH; ++h) {
       const std::vector<uint32_t> fresh = FreshCores(view->graph(), h);
-      for (VertexId v = 0; v < view->graph().num_vertices(); ++v) {
+      const VertexId n = view->graph().num_vertices();
+      for (VertexId v = 0; v < n; ++v) {
         ASSERT_EQ(view->CoreOf(v, h), fresh[v])
             << spec.Name() << " shards=" << shards << " step=" << step
             << " h=" << h << " v=" << v;
+      }
+      // Post-batch components — answered from carried, spliced, pre-merged,
+      // or rebuilt merges depending on the budget — against the BFS oracle.
+      for (VertexId v : {VertexId{0}, n / 2, n - 1}) {
+        for (uint32_t k : {0u, fresh[v]}) {
+          ASSERT_EQ(view->CoreComponentOf(v, k, h),
+                    ReferenceComponent(view->graph(), fresh, v, k))
+              << spec.Name() << " shards=" << shards << " step=" << step
+              << " h=" << h << " v=" << v << " k=" << k;
+        }
       }
     }
   }
@@ -347,6 +399,23 @@ TEST(ShardedFuzz, ApplyBatchMatchesFreshAcrossShardCountsAndEditModes) {
         RunShardedSequence(spec, shards, mode, 4);
         if (HasFatalFailure()) return;
       }
+    }
+  }
+}
+
+TEST(ShardedFuzz, CarriedMergesStayExactUnderLowAndHighSpliceBudgets) {
+  // The splice-budget legs: 0.0 forces the drop-and-rebuild fallback for
+  // every merge a batch touches (only exact carries survive), 1.0 forces
+  // the splice path no matter how stale a merge got. Both must stay exact
+  // against the BFS oracle after every batch.
+  for (const RandomGraphSpec& spec : Corpus(32, 2)) {
+    for (int shards : {2, 3}) {
+      RunShardedSequence(spec, shards, EditMode::kMixed, 4,
+                         /*carry_budget=*/0.0, /*premerge=*/0);
+      if (HasFatalFailure()) return;
+      RunShardedSequence(spec, shards, EditMode::kMixed, 4,
+                         /*carry_budget=*/1.0, /*premerge=*/8);
+      if (HasFatalFailure()) return;
     }
   }
 }

@@ -175,9 +175,9 @@ TEST(ServeDifferential, AllQueryTypesMatchOracleAcrossFamiliesAndShards) {
       const std::string label = family.name + "/shards" +
                                 std::to_string(shards);
       AssertEquivalent(service, oracle, label);
-      if (HasFatalFailure()) return;
+      if (::testing::Test::HasFatalFailure()) return;
       AssertCommunitiesEquivalent(service, oracle, 100 + shards, label);
-      if (HasFatalFailure()) return;
+      if (::testing::Test::HasFatalFailure()) return;
     }
   }
 }
@@ -199,11 +199,11 @@ TEST(ServeDifferential, EquivalenceHoldsAfterMixedApplyBatchSequences) {
                                   std::to_string(shards) + "/round" +
                                   std::to_string(round);
         AssertEquivalent(service, oracle, label);
-        if (HasFatalFailure()) return;
+        if (::testing::Test::HasFatalFailure()) return;
       }
       AssertCommunitiesEquivalent(service, oracle, 500 + shards,
                                   family.name + "/post-batches");
-      if (HasFatalFailure()) return;
+      if (::testing::Test::HasFatalFailure()) return;
     }
   }
 }
@@ -281,6 +281,12 @@ TEST(ServeTier, ShardCountersBalanceAndStatsResetZeroes) {
   EXPECT_EQ(stats.gather.community_queries, 1u);
   EXPECT_GT(stats.gather.shard_scatters, 0u);
   EXPECT_GT(stats.gather.cut_edges_scanned, 0u);
+  // Counter balance: every counted merge construction (miss, splice,
+  // premerge) consults exactly num_shards summaries, each of which is a
+  // scatter hit or a fresh scatter; carries consult none.
+  EXPECT_EQ(stats.gather.scatter_hits + stats.gather.shard_scatters,
+            3 * (stats.gather.merge_misses + stats.gather.merges_spliced +
+                 stats.gather.merges_premerged));
 
   const uint64_t epoch_before = service.view()->service_epoch();
   service.ResetStats();
@@ -295,6 +301,151 @@ TEST(ServeTier, ShardCountersBalanceAndStatsResetZeroes) {
   // Reset is a counter operation only: the published view and its epoch
   // vector are untouched.
   EXPECT_EQ(service.view()->service_epoch(), epoch_before);
+}
+
+/// The carried-merge differential: one service runs the incremental
+/// maintenance (carry/splice/premerge per `budget`), a control service has
+/// it disabled (negative budget = every view rebuilds from scratch), and a
+/// single HCoreIndex is the oracle. After every batch of a mixed sequence,
+/// warm queries on the carried service — which are answered from carried,
+/// spliced, or pre-merged entries — must byte-equal both controls. Queries
+/// BEFORE each batch populate the caches the maintenance then carries.
+void RunCarriedVsScratch(double budget, size_t premerge, int rounds) {
+  for (const Family& family : Families()) {
+    for (int shards : kShardCounts) {
+      HCoreIndex oracle(family.make(), IndexOptions());
+      ShardedServiceOptions carried_opts = ServiceOptions(shards);
+      carried_opts.carry_budget_fraction = budget;
+      carried_opts.hot_premerge = premerge;
+      ShardedServiceOptions scratch_opts = ServiceOptions(shards);
+      scratch_opts.carry_budget_fraction = -1.0;
+      scratch_opts.hot_premerge = 0;
+      ShardedHCoreService carried(family.make(), carried_opts);
+      ShardedHCoreService scratch(family.make(), scratch_opts);
+      Rng rng(97 * shards + static_cast<uint64_t>(budget * 8) + 3);
+      const std::string label = family.name + "/shards" +
+                                std::to_string(shards) + "/budget" +
+                                std::to_string(budget);
+      auto probe = [&](const std::string& tag) {
+        auto view = carried.view();
+        auto control = scratch.view();
+        auto snap = oracle.snapshot();
+        const VertexId n = view->graph().num_vertices();
+        for (int h = 1; h <= kMaxH; ++h) {
+          for (VertexId v = 0; v < n; v += 5) {
+            const uint32_t core = snap->CoreOf(v, h);
+            for (uint32_t k : {0u, core / 2, core}) {
+              const auto got = carried.CoreComponentOf(v, k, h);
+              ASSERT_EQ(got, control->CoreComponentOf(v, k, h))
+                  << label << tag << " h=" << h << " v=" << v << " k=" << k;
+              ASSERT_EQ(got, snap->CoreComponentOf(v, k, h))
+                  << label << tag << " h=" << h << " v=" << v << " k=" << k;
+            }
+          }
+        }
+      };
+      probe("/initial");
+      if (::testing::Test::HasFatalFailure()) return;
+      for (int round = 0; round < rounds; ++round) {
+        auto batch = MixedBatch(carried.view()->graph(), &rng, 3 + round);
+        const size_t applied = oracle.ApplyBatch(batch);
+        ASSERT_EQ(carried.ApplyBatch(batch), applied) << label;
+        ASSERT_EQ(scratch.ApplyBatch(batch), applied) << label;
+        probe("/round" + std::to_string(round));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ServeIncremental, CarriedMergesMatchScratchAndOracleDefaultBudget) {
+  RunCarriedVsScratch(/*budget=*/0.5, /*premerge=*/4, /*rounds=*/3);
+}
+
+TEST(ServeIncremental, SpliceForcedOnMatchesScratchAndOracle) {
+  // Budget 1.0: every stale merge is spliced, never dropped — the splice
+  // path runs on effectively every cached key every batch.
+  RunCarriedVsScratch(/*budget=*/1.0, /*premerge=*/8, /*rounds=*/3);
+}
+
+TEST(ServeIncremental, FallbackForcedOnMatchesScratchAndOracle) {
+  // Budget 0.0: any merge with a stale summary is dropped and rebuilt on
+  // demand — the fallback path, with only exact carries surviving.
+  RunCarriedVsScratch(/*budget=*/0.0, /*premerge=*/0, /*rounds=*/3);
+}
+
+TEST(ServeIncremental, CounterBalanceHoldsUnderCarrySpliceAndPremerge) {
+  Rng rng(23);
+  Graph g = gen::CliqueOverlay(140, 60, 3, 10, 2.0, &rng);
+  ShardedServiceOptions opts = ServiceOptions(3);
+  opts.hot_premerge = 4;
+  ShardedHCoreService service(Graph(g), opts);
+  Rng edit_rng(29);
+  for (int round = 0; round < 5; ++round) {
+    // Queries first, so the publish-time maintenance has entries to carry
+    // and hot counters to rank.
+    for (int h = 1; h <= kMaxH; ++h) {
+      (void)service.CoreComponentOf(3 * static_cast<VertexId>(round), 0, h);
+      (void)service.CoreComponentOf(1, 1, h);
+    }
+    (void)service.Community({0, 2}, 2);
+    service.ApplyBatch(MixedBatch(service.view()->graph(), &edit_rng, 4));
+  }
+  const ScatterGatherStats gather = service.stats().gather;
+  EXPECT_EQ(gather.scatter_hits + gather.shard_scatters,
+            3 * (gather.merge_misses + gather.merges_spliced +
+                 gather.merges_premerged));
+  // The incremental machinery actually engaged: merges survived into
+  // successor views (carried or spliced) and repeat queries hit.
+  EXPECT_GT(gather.merges_carried + gather.merges_spliced, 0u);
+  EXPECT_GT(gather.merge_hits, 0u);
+}
+
+TEST(ServeIncremental, HotKeysArePreMergedSoPostBatchQueriesHit) {
+  Rng rng(41);
+  Graph g = gen::CliqueOverlay(120, 50, 3, 10, 2.0, &rng);
+  ShardedServiceOptions opts = ServiceOptions(3);
+  opts.hot_premerge = 8;
+  ShardedHCoreService service(Graph(g), opts);
+  // Make (h=2, k=0) hot: well past the halving decay.
+  for (int i = 0; i < 8; ++i) (void)service.CoreComponentOf(0, 0, 2);
+  // A guaranteed-effective mixed batch: grow by one vertex, delete a real
+  // edge.
+  const auto victim = g.Edges().front();
+  const std::vector<EdgeEdit> batch{
+      EdgeEdit::Insert(0, g.num_vertices()),
+      EdgeEdit::Delete(victim.first, victim.second)};
+  ASSERT_EQ(service.ApplyBatch(batch), 2u);
+  const ScatterGatherStats before = service.stats().gather;
+  // The publish either carried/spliced the entry or pre-merged it — either
+  // way the first post-batch query must be a cache hit, not a build.
+  EXPECT_GT(before.merges_carried + before.merges_spliced +
+                before.merges_premerged,
+            0u);
+  (void)service.CoreComponentOf(0, 0, 2);
+  const ScatterGatherStats after = service.stats().gather;
+  EXPECT_EQ(after.merge_hits, before.merge_hits + 1);
+  EXPECT_EQ(after.merge_misses, before.merge_misses);
+}
+
+TEST(ServeIncremental, MergeCacheCapIsConfigurableAndEvictsLru) {
+  Rng rng(59);
+  Graph g = gen::BarabasiAlbert(100, 3, &rng);
+  ShardedServiceOptions opts = ServiceOptions(2);
+  opts.merge_cache_cap = 2;
+  opts.hot_premerge = 0;
+  ShardedHCoreService service(Graph(g), opts);
+  // Three distinct keys through a cap-2 cache: (1,0) (2,0) (3,0) leaves
+  // {(2,0), (3,0)}; re-querying (1,0) misses and evicts the LRU (2,0);
+  // re-querying (3,0) still hits — exact LRU, not FIFO or key order.
+  (void)service.CoreComponentOf(0, 0, 1);
+  (void)service.CoreComponentOf(0, 0, 2);
+  (void)service.CoreComponentOf(0, 0, 3);
+  (void)service.CoreComponentOf(0, 0, 1);
+  (void)service.CoreComponentOf(0, 0, 3);
+  const ScatterGatherStats gather = service.stats().gather;
+  EXPECT_EQ(gather.merge_misses, 4u);
+  EXPECT_EQ(gather.merge_hits, 1u);
 }
 
 TEST(ServeTier, SingleShardDegeneratesToOneIndexWithEmptyCutSet) {

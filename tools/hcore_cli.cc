@@ -15,7 +15,8 @@
 //   hcore_cli generate   --model=ba|gnp|ws|road|cliques --n=1000 [--seed=S]
 //                        --output=G.txt
 //   hcore_cli serve      --input=G.txt [--h-max=4] [--threads=N] [--algo=..]
-//                        [--shards=N]
+//                        [--shards=N] [--merge-cache=N] [--carry-budget=F]
+//                        [--premerge=N]
 //
 // `serve` builds a ShardedHCoreService (--shards index shards behind one
 // API; the default 1 degenerates to a single HCoreIndex), then answers
@@ -94,6 +95,10 @@ struct Flags {
   int GetInt(const std::string& key, int def) const {
     auto it = values.find(key);
     return it == values.end() ? def : std::atoi(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : std::atof(it->second.c_str());
   }
   bool Has(const std::string& key) const { return values.count(key) > 0; }
 };
@@ -423,12 +428,21 @@ void PrintServeStats(const ShardedHCoreService& service) {
                       st.shard[i].levels_unchanged));
     }
     std::printf("gather: component_queries=%llu community_queries=%llu "
-                "scatters=%llu fragments=%llu cut_scans=%llu\n",
+                "scatters=%llu scatter_hits=%llu fragments=%llu "
+                "cut_scans=%llu\n",
                 static_cast<unsigned long long>(st.gather.component_queries),
                 static_cast<unsigned long long>(st.gather.community_queries),
                 static_cast<unsigned long long>(st.gather.shard_scatters),
+                static_cast<unsigned long long>(st.gather.scatter_hits),
                 static_cast<unsigned long long>(st.gather.fragments_merged),
                 static_cast<unsigned long long>(st.gather.cut_edges_scanned));
+    std::printf("merges: hits=%llu misses=%llu carried=%llu spliced=%llu "
+                "premerged=%llu\n",
+                static_cast<unsigned long long>(st.gather.merge_hits),
+                static_cast<unsigned long long>(st.gather.merge_misses),
+                static_cast<unsigned long long>(st.gather.merges_carried),
+                static_cast<unsigned long long>(st.gather.merges_spliced),
+                static_cast<unsigned long long>(st.gather.merges_premerged));
   }
 }
 
@@ -450,6 +464,15 @@ int CmdServe(const Flags& flags) {
   opts.index.base = CoreOptions(flags);
   if (opts.index.max_h < 1) return Fail("--h-max must be >= 1");
   if (opts.num_shards < 1) return Fail("--shards must be >= 1");
+  // Incremental cross-shard maintenance knobs (multi-shard only; see
+  // ShardedServiceOptions).
+  opts.merge_cache_cap =
+      static_cast<size_t>(flags.GetInt("merge-cache",
+                                       static_cast<int>(opts.merge_cache_cap)));
+  opts.carry_budget_fraction =
+      flags.GetDouble("carry-budget", opts.carry_budget_fraction);
+  opts.hot_premerge = static_cast<size_t>(
+      flags.GetInt("premerge", static_cast<int>(opts.hot_premerge)));
 
   if (opts.num_shards == 1) {
     std::printf("building index: n=%u m=%llu h_max=%d threads=%d ...\n",
