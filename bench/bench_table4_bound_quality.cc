@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
       KhCoreResult truth = KhCoreDecomposition(d.graph, opts);
 
       HDegreeComputer degrees(n, bench::EffectiveThreads(args));
+      degrees.coordinator().Assume();  // bench main thread is the driver
       VertexMask alive(n, true);
       std::vector<uint32_t> hdeg;
       degrees.ComputeAllAlive(d.graph, alive, h, &hdeg);

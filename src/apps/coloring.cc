@@ -47,6 +47,7 @@ ColoringResult DistanceHColoring(const Graph& g, int h, ColoringOrder order) {
   std::vector<VertexId> peel;
   if (order == ColoringOrder::kUpperBoundPeel) {
     HDegreeComputer degrees(n, 1);
+    degrees.coordinator().Assume();  // locally owned, single-threaded use
     VertexMask all(n, true);
     std::vector<uint32_t> hdeg;
     degrees.ComputeAllAlive(g, all, h, &hdeg);

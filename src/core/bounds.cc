@@ -9,6 +9,9 @@ namespace hcore {
 std::vector<uint32_t> ComputeLB1(const Graph& g, int h,
                                  HDegreeComputer* degrees) {
   HCORE_CHECK(h >= 2);
+  // Bound helpers run on the caller's thread, which drives the borrowed
+  // computer for the duration of the call.
+  degrees->coordinator().Assume();
   const VertexId n = g.num_vertices();
   const int radius = h / 2;  // ⌊h/2⌋ >= 1 for h >= 2.
   VertexMask alive(n, true);
@@ -21,6 +24,7 @@ std::vector<uint32_t> ComputeLB2(const Graph& g, int h,
                                  const std::vector<uint32_t>& lb1,
                                  HDegreeComputer* degrees) {
   HCORE_CHECK(h >= 2);
+  degrees->coordinator().Assume();  // caller's thread drives the computer
   const VertexId n = g.num_vertices();
   const int radius = (h + 1) / 2;  // ⌈h/2⌉
   VertexMask alive(n, true);
@@ -31,8 +35,7 @@ std::vector<uint32_t> ComputeLB2(const Graph& g, int h,
   std::vector<std::pair<VertexId, int>> nbhd;
   for (VertexId v = 0; v < n; ++v) {
     degrees->CollectNeighborhood(g, alive, v, radius, &nbhd);
-    for (const auto& [u, d] : nbhd) {
-      (void)d;
+    for ([[maybe_unused]] const auto& [u, d] : nbhd) {
       lb2[v] = std::max(lb2[v], lb1[u]);
     }
   }
@@ -87,6 +90,7 @@ ImproveLbResult ImproveLB(const Graph& g, int h, uint32_t k_min,
                           VertexMask* alive, const std::vector<uint32_t>& lb2,
                           HDegreeComputer* degrees) {
   const VertexId n = g.num_vertices();
+  degrees->coordinator().Assume();  // caller's thread drives the computer
   ImproveLbResult out;
   out.hdeg.assign(n, 0);
   out.lb3.assign(n, 0);
@@ -120,8 +124,7 @@ ImproveLbResult ImproveLB(const Graph& g, int h, uint32_t k_min,
     degrees->CollectNeighborhood(g, *alive, v, h, &nbhd);
     alive->Kill(v);
     ++out.removed;
-    for (const auto& [u, dist] : nbhd) {
-      (void)dist;
+    for ([[maybe_unused]] const auto& [u, dist] : nbhd) {
       if (!alive->IsAlive(u)) continue;
       if (out.hdeg[u] > 0) --out.hdeg[u];
       if (out.hdeg[u] < k_min && !queued[u]) {

@@ -178,8 +178,7 @@ CoreHierarchy BuildCoreHierarchy(const Graph& g,
     if (k == 0) break;
   }
 
-  for (const auto& [root, node] : comp_node) {
-    (void)root;
+  for ([[maybe_unused]] const auto& [root, node] : comp_node) {
     if (out.nodes[node].parent == CoreHierarchyNode::kNoParentSentinel) {
       out.roots.push_back(node);
     }

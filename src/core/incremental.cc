@@ -109,6 +109,10 @@ bool LocalizedUpdater::InsertUpdate(const Graph& g_after,
   }
   bound += 1;
 
+  // The updater processes one batch at a time, driven end-to-end by the
+  // calling thread — it coordinates the computer and the peeler.
+  degrees_.coordinator().Assume();
+  peeler_.coordinator().Assume();
   degrees_.EnsureCapacity(n);
   if (pinned_.size() < n) pinned_.resize(n, 0);
 

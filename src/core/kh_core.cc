@@ -44,6 +44,10 @@ class Decomposer {
   }
 
   KhCoreResult Run(KhCoreAlgorithm algorithm) {
+    // One Decomposer performs one decomposition, driven end-to-end by the
+    // calling thread — it coordinates the computer and the peeler.
+    degrees_.coordinator().Assume();
+    peeler_.coordinator().Assume();
     WallTimer timer;
     switch (algorithm) {
       case KhCoreAlgorithm::kBz:
@@ -99,6 +103,8 @@ class Decomposer {
     if (use_parallel_) {
       // Round-synchronous peel with eager exact keys: the parallel twin of
       // Algorithm 1 (the pinned-bucket skip becomes the queued-claim skip).
+      degrees_.coordinator().Assume();  // Run()'s driver thread
+      peeler_.coordinator().Assume();
       degrees_.ComputeAllAlive(g_, alive_, h_, &engine_.keys());
       engine_.stats().hdegree_computations += n_;
       peeler_.Peel(g_, h_, &alive_, AllVertices(), &engine_.keys(),
@@ -126,7 +132,10 @@ class Decomposer {
     bool OnPop(VertexId v, uint32_t k) {
       if (d->set_lb_[v]) {
         // First pop: the bucket held only a lower bound. Compute the true
-        // h-degree w.r.t. the current alive set and re-queue.
+        // h-degree w.r.t. the current alive set and re-queue. The policy
+        // runs inline in the engine's single-threaded loop, so the popping
+        // thread is the computer's coordinator.
+        d->degrees_.coordinator().Assume();
         const uint32_t hd = d->degrees_.Compute(d->g_, d->alive_, v, d->h_);
         ++d->engine_.stats().hdegree_computations;
         d->engine_.Requeue(v, hd, k);
@@ -174,6 +183,7 @@ class Decomposer {
         set_lb_[v] = 1;
         keys[v] = lb[v];
       }
+      peeler_.coordinator().Assume();  // Run()'s driver thread
       peeler_.Peel(g_, h_, &alive_, AllVertices(), &keys, &set_lb_,
                    /*pinned=*/nullptr, 0, n_, &engine_.stats(),
                    [this](VertexId v, uint32_t k) {
@@ -199,6 +209,7 @@ class Decomposer {
     if (n_ == 0) return;
     WallTimer bound_timer;
     // Lines 3-5 of Algorithm 4: full h-degrees and lower bounds.
+    degrees_.coordinator().Assume();  // Run()'s driver thread
     std::vector<uint32_t> hdeg(n_, 0);
     degrees_.ComputeAllAlive(g_, alive_, h_, &hdeg);
     engine_.stats().hdegree_computations += n_;
@@ -280,6 +291,7 @@ class Decomposer {
         keys[v] = key;
       });
       const std::vector<VertexId> window = alive_.AliveVertices();
+      peeler_.coordinator().Assume();  // Run()'s driver thread
       peeler_.Peel(g_, h_, &alive_, window, &keys, &set_lb_,
                    /*pinned=*/nullptr, k_min, k_max, &engine_.stats(),
                    [this, k_min](VertexId v, uint32_t k) {

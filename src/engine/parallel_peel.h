@@ -60,6 +60,8 @@
 #include "engine/vertex_mask.h"
 #include "graph/graph.h"
 #include "traversal/h_degree.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hcore {
 
@@ -138,7 +140,9 @@ uint32_t ParallelClassicCore(const Graph& g, int num_threads,
 /// Reusable scratch + driver for the generic (h >= 1) round-synchronous
 /// peel. Borrows an HDegreeComputer (whose pool and per-worker BFS scratch
 /// do the parallel work); one instance serves many Peel calls, reusing its
-/// O(n) buffers. Not thread-safe; the coordinator thread owns it.
+/// O(n) buffers. Not thread-safe; the coordinator thread owns it — a
+/// machine-checked contract: Peel REQUIRES the peeler's `coordinator()`
+/// role, which guards every per-round scratch buffer.
 class ParallelPeeler {
  public:
   /// `degrees` is borrowed, not owned; its thread count decides the
@@ -147,6 +151,13 @@ class ParallelPeeler {
 
   ParallelPeeler(const ParallelPeeler&) = delete;
   ParallelPeeler& operator=(const ParallelPeeler&) = delete;
+
+  /// The single-coordinator capability; callers claim it with
+  /// coordinator().Assume() where their protocol makes them the sole
+  /// driver (see util/mutex.h).
+  const ThreadRole& coordinator() const RETURN_CAPABILITY(coordinator_) {
+    return coordinator_;
+  }
 
   /// Peels levels [k_min, k_max] over the alive subgraph, mirroring
   /// PeelingEngine::Peel's window semantics: vertices are processed from
@@ -173,7 +184,11 @@ class ParallelPeeler {
             std::span<const VertexId> vertices, std::vector<uint32_t>* keys,
             std::vector<uint8_t>* lazy, const std::vector<uint8_t>* pinned,
             uint32_t k_min, uint32_t k_max, PeelingStats* stats,
-            AssignFn&& assign) {
+            AssignFn&& assign) REQUIRES(coordinator_) {
+    // Borrow contract: whoever coordinates the peeler is the sole driver
+    // of the borrowed computer for the duration of the peel (rounds fan
+    // out through its pool and rejoin this thread at each barrier).
+    degrees_->coordinator().Assume();
     EnsureScratch(g.num_vertices());
     remaining_.clear();
     for (const VertexId v : vertices) {
@@ -296,18 +311,28 @@ class ParallelPeeler {
   }
 
  private:
-  void EnsureScratch(VertexId n);
+  void EnsureScratch(VertexId n) REQUIRES(coordinator_);
 
+  ThreadRole coordinator_;
   HDegreeComputer* degrees_;
-  VertexId capacity_ = 0;
+  VertexId capacity_ GUARDED_BY(coordinator_) = 0;
   // marks_ entries are 0 outside MarkNeighborhoods round-trips (reset from
-  // the marked lists, never by an O(n) sweep).
-  std::unique_ptr<std::atomic<uint8_t>[]> marks_;
-  std::vector<uint8_t> queued_;  // claimed for the current level
-  std::vector<std::vector<VertexId>> marked_lists_;
-  std::vector<VertexId> remaining_, next_remaining_, candidates_, round_,
-      next_round_, frontier_, recompute_, lazy_batch_;
-  std::vector<uint32_t> batch_keys_;
+  // the marked lists, never by an O(n) sweep). The array pointer is
+  // coordinator-owned; workers write ELEMENTS through MarkNeighborhoods'
+  // atomics.
+  std::unique_ptr<std::atomic<uint8_t>[]> marks_ GUARDED_BY(coordinator_);
+  // Claimed-for-current-level flags and per-round work lists: touched only
+  // between the coordinator's fan-out barriers.
+  std::vector<uint8_t> queued_ GUARDED_BY(coordinator_);
+  std::vector<std::vector<VertexId>> marked_lists_ GUARDED_BY(coordinator_);
+  std::vector<VertexId> remaining_ GUARDED_BY(coordinator_),
+      next_remaining_ GUARDED_BY(coordinator_),
+      candidates_ GUARDED_BY(coordinator_), round_ GUARDED_BY(coordinator_),
+      next_round_ GUARDED_BY(coordinator_),
+      frontier_ GUARDED_BY(coordinator_),
+      recompute_ GUARDED_BY(coordinator_),
+      lazy_batch_ GUARDED_BY(coordinator_);
+  std::vector<uint32_t> batch_keys_ GUARDED_BY(coordinator_);
 };
 
 }  // namespace hcore

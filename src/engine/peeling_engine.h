@@ -148,6 +148,9 @@ class PeelingEngine {
   /// Computes h-degrees of all alive vertices (parallel when the computer
   /// has threads) and seeds the queue with them.
   void SeedAliveWithHDegrees() {
+    // The engine is a single-threaded driver (class contract), so the
+    // calling thread coordinates the borrowed computer.
+    degrees_->coordinator().Assume();
     degrees_->ComputeAllAlive(g_, *alive_, h_, &keys_);
     stats_.hdegree_computations += alive_->num_alive();
     alive_->ForEachAlive([this](VertexId v) { queue_.Insert(v, keys_[v]); });
@@ -173,6 +176,7 @@ class PeelingEngine {
                   std::span<const VertexId> pinned,
                   const std::vector<uint32_t>& pinned_keys, Policy&& policy) {
     for (const VertexId b : pinned) Seed(b, pinned_keys[b]);
+    degrees_->coordinator().Assume();  // single-threaded driver
     batch_keys_.resize(region.size());
     degrees_->ComputeBatch(g_, *alive_, h_, region, batch_keys_.data());
     stats_.hdegree_computations += region.size();
@@ -188,6 +192,7 @@ class PeelingEngine {
   /// this window to re-peel resurrected vertices without re-assigning).
   template <typename Policy>
   void Peel(uint32_t k_min, uint32_t k_max, Policy&& policy) {
+    degrees_->coordinator().Assume();  // single-threaded driver
     const uint32_t k_start = (k_min == 0) ? 0 : k_min - 1;
     const uint32_t k_stop = std::min(k_max, queue_.max_key());
     for (uint32_t k = k_start; k <= k_stop; ++k) {
@@ -241,6 +246,7 @@ class PeelingEngine {
   /// and re-buckets each vertex at max(h-degree, k).
   template <typename Policy>
   void RecomputeBatch(uint32_t k, Policy& policy) {
+    degrees_->coordinator().Assume();  // single-threaded driver
     batch_keys_.resize(batch_.size());
     degrees_->ComputeBatch(g_, *alive_, h_, batch_, batch_keys_.data());
     stats_.hdegree_computations += batch_.size();

@@ -105,7 +105,7 @@ std::span<const CoreDelta> HCoreSnapshot::LevelDelta(int h) const {
 
 const CoreHierarchy& HCoreSnapshot::Hierarchy(int h) const {
   HCORE_CHECK(h >= 1 && h <= max_h());
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(lazy_mu_);
   std::unique_ptr<CoreHierarchy>& slot = hierarchy_[h - 1];
   if (slot == nullptr) {
     slot = std::make_unique<CoreHierarchy>(
@@ -136,7 +136,7 @@ std::vector<HCoreSnapshot::LevelDensity> HCoreSnapshot::TopDensestLevels(
   const uint32_t degeneracy = levels_[h - 1].degeneracy;
   const DensityTable* table = nullptr;
   {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
+    MutexLock lock(lazy_mu_);
     std::unique_ptr<DensityTable>& slot = density_[h - 1];
     if (slot == nullptr) {
       slot = std::make_unique<DensityTable>();
@@ -194,15 +194,23 @@ HCoreIndex::HCoreIndex(Graph g, const HCoreIndexOptions& options)
   HCORE_CHECK(options_.base.extra_lower_bound == nullptr);
   HCORE_CHECK(options_.base.extra_upper_bound == nullptr);
   auto graph = std::make_shared<const Graph>(std::move(g));
-  std::vector<HCoreSnapshot::Level> levels = DecomposeAll(
-      *graph, /*prev=*/nullptr, /*pure_insert=*/false, /*pure_delete=*/false,
-      /*effective=*/{}, &stats_);
+  // The object is not shared yet, but the analysis (rightly) has no notion
+  // of "not shared yet" — hold the locks the accessed members name.
+  std::vector<HCoreSnapshot::Level> levels;
+  HCoreIndexStats boot;
+  {
+    MutexLock writer(update_mu_);
+    levels = DecomposeAll(*graph, /*prev=*/nullptr, /*pure_insert=*/false,
+                          /*pure_delete=*/false, /*effective=*/{}, &boot);
+  }
+  MutexLock lock(mu_);
+  stats_.Add(boot);
   snap_.reset(new HCoreSnapshot(std::move(graph), std::move(levels),
                                 /*epoch=*/0));
 }
 
 std::shared_ptr<const HCoreSnapshot> HCoreIndex::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snap_;
 }
 
@@ -275,9 +283,15 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
       }
       TaskGroup group(level_pool_.get());
       for (int h = 1; h <= options_.max_h; ++h) {
-        group.Run([&attempt, this, h, &outcomes] {
-          attempt(*level_updaters_[h - 1], h, outcomes[h - 1]);
-        });
+        // Hoist the per-level updater/outcome out of the guarded containers
+        // on the coordinator (which holds update_mu_): the worker-side
+        // lambda is analyzed as an unannotated function and must not touch
+        // GUARDED_BY members — and indeed must not, since workers do not
+        // hold the writer lock. Each task owns its hoisted pointers
+        // exclusively until group.Wait().
+        LocalizedUpdater* updater = level_updaters_[h - 1].get();
+        LocalizedOutcome* out = &outcomes[h - 1];
+        group.Run([&attempt, updater, h, out] { attempt(*updater, h, *out); });
       }
       group.Wait();
     } else {
@@ -385,7 +399,7 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
 }
 
 size_t HCoreIndex::ApplyBatch(std::span<const EdgeEdit> edits) {
-  std::lock_guard<std::mutex> writer(update_mu_);
+  MutexLock writer(update_mu_);
   std::shared_ptr<const HCoreSnapshot> prev = snapshot();
 
   // The ONE CSR rebuild for the whole batch. The effective edits feed the
@@ -410,7 +424,7 @@ size_t HCoreIndex::ApplyBatch(std::span<const EdgeEdit> edits) {
   std::shared_ptr<const HCoreSnapshot> snap(new HCoreSnapshot(
       std::move(graph), std::move(levels), prev->epoch() + 1));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap_ = std::move(snap);
   stats_.Add(delta);
   return summary.applied();
@@ -427,12 +441,12 @@ bool HCoreIndex::DeleteEdge(VertexId u, VertexId v) {
 }
 
 HCoreIndexStats HCoreIndex::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void HCoreIndex::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = HCoreIndexStats{};
 }
 

@@ -35,7 +35,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -43,6 +42,8 @@
 #include "core/incremental.h"
 #include "core/kh_core.h"
 #include "graph/graph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hcore {
@@ -201,9 +202,11 @@ class HCoreSnapshot {
 
   // Lazily built, logically-const artifacts (guarded: snapshots are shared
   // by concurrent readers).
-  mutable std::mutex lazy_mu_;
-  mutable std::vector<std::unique_ptr<CoreHierarchy>> hierarchy_;
-  mutable std::vector<std::unique_ptr<DensityTable>> density_;
+  mutable Mutex lazy_mu_;
+  mutable std::vector<std::unique_ptr<CoreHierarchy>> hierarchy_
+      GUARDED_BY(lazy_mu_);
+  mutable std::vector<std::unique_ptr<DensityTable>> density_
+      GUARDED_BY(lazy_mu_);
   mutable std::atomic<uint64_t> lazy_builds_{0};
 };
 
@@ -219,7 +222,7 @@ class HCoreIndex {
 
   /// The current epoch. Cheap (one pointer copy under a mutex); the caller
   /// keeps the snapshot alive independently of future updates.
-  std::shared_ptr<const HCoreSnapshot> snapshot() const;
+  std::shared_ptr<const HCoreSnapshot> snapshot() const EXCLUDES(mu_);
 
   /// Applies a batch of edge edits: ONE CSR rebuild via Graph::WithEdits,
   /// then per level either a LOCALIZED region re-peel (pure batches up to
@@ -231,39 +234,42 @@ class HCoreIndex {
   /// stats record which path served each level. Publishes a new epoch
   /// unless every edit was a no-op. Returns the number of edits that had an
   /// effect. Thread-safe; concurrent readers are never blocked.
-  size_t ApplyBatch(std::span<const EdgeEdit> edits);
+  size_t ApplyBatch(std::span<const EdgeEdit> edits)
+      EXCLUDES(update_mu_, mu_);
 
   /// Single-edit conveniences (each is a batch of one).
-  bool InsertEdge(VertexId u, VertexId v);
-  bool DeleteEdge(VertexId u, VertexId v);
+  bool InsertEdge(VertexId u, VertexId v) EXCLUDES(update_mu_, mu_);
+  bool DeleteEdge(VertexId u, VertexId v) EXCLUDES(update_mu_, mu_);
 
   /// Cumulative cost counters (serving queries never moves them).
-  HCoreIndexStats stats() const;
+  HCoreIndexStats stats() const EXCLUDES(mu_);
 
   /// Zeroes the cumulative counters (the published snapshot and its epoch
   /// are untouched). Lets a long-lived serving process start a fresh
   /// measurement window — `stats reset` in the serve REPL.
-  void ResetStats();
+  void ResetStats() EXCLUDES(mu_);
 
  private:
   std::vector<HCoreSnapshot::Level> DecomposeAll(
       const Graph& g, const HCoreSnapshot* prev, bool pure_insert,
       bool pure_delete, std::span<const EdgeEdit> effective,
-      HCoreIndexStats* stats);
+      HCoreIndexStats* stats) REQUIRES(update_mu_);
 
   HCoreIndexOptions options_;
-  std::mutex update_mu_;  // serializes writers
-  mutable std::mutex mu_;  // guards snap_ swap and stats_
-  std::shared_ptr<const HCoreSnapshot> snap_;
-  HCoreIndexStats stats_;
-  LocalizedUpdater updater_;  // writer-only scratch (under update_mu_)
+  Mutex update_mu_;        // serializes writers
+  mutable Mutex mu_;       // guards snap_ swap and stats_
+  std::shared_ptr<const HCoreSnapshot> snap_ GUARDED_BY(mu_);
+  HCoreIndexStats stats_ GUARDED_BY(mu_);
+  // Writer-only scratch (under update_mu_).
+  LocalizedUpdater updater_ GUARDED_BY(update_mu_);
   // Concurrent dirty-level machinery (writer-only, under update_mu_; both
   // lazy — serial indexes never pay for them). The pool is index-owned:
   // fanning out on a pool shared with e.g. the serving tier could deadlock
   // (every shared worker blocked in a Wait while the level tasks queue
   // behind them).
-  std::unique_ptr<ThreadPool> level_pool_;
-  std::vector<std::unique_ptr<LocalizedUpdater>> level_updaters_;
+  std::unique_ptr<ThreadPool> level_pool_ GUARDED_BY(update_mu_);
+  std::vector<std::unique_ptr<LocalizedUpdater>> level_updaters_
+      GUARDED_BY(update_mu_);
 };
 
 }  // namespace hcore

@@ -10,8 +10,11 @@
 // std::list iterators survive splice, so a bump never invalidates the
 // index.
 //
-// Not thread-safe: callers guard every method with their own mutex (the
-// view's merge_mu_).
+// Not thread-safe by itself: callers guard every method with their own
+// mutex (the view's merge_mu_). That contract is machine-checked — each
+// accessor takes the caller's Mutex as a REQUIRES capability parameter, so
+// under Clang's -Wthread-safety a call without the named lock held fails
+// to compile. The parameter is unused at runtime.
 
 #ifndef HCORE_SERVE_LRU_CACHE_H_
 #define HCORE_SERVE_LRU_CACHE_H_
@@ -21,22 +24,32 @@
 #include <map>
 #include <utility>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace hcore {
 
 /// Exact-LRU map from Key to Value with a fixed capacity. Value is expected
 /// to be cheap to copy (the serving tier stores shared_ptrs). A cap of 0
 /// stores nothing: Get always misses and Put hands the value straight back.
+///
+/// Every method names the external Mutex that guards this cache instance
+/// (the same one on every call) and REQUIRES the caller to hold it.
 template <typename Key, typename Value>
 class LruCache {
  public:
   explicit LruCache(size_t cap = 0) : cap_(cap) {}
 
-  size_t cap() const { return cap_; }
-  size_t size() const { return index_.size(); }
+  size_t cap([[maybe_unused]] const Mutex& mu) const REQUIRES(mu) {
+    return cap_;
+  }
+  size_t size([[maybe_unused]] const Mutex& mu) const REQUIRES(mu) {
+    return index_.size();
+  }
 
   /// The resident value for `key`, bumped to most-recently-used — or a
   /// default-constructed Value when absent.
-  Value Get(const Key& key) {
+  Value Get(const Key& key, [[maybe_unused]] const Mutex& mu) REQUIRES(mu) {
     auto it = index_.find(key);
     if (it == index_.end()) return Value{};
     entries_.splice(entries_.begin(), entries_, it->second);
@@ -48,7 +61,8 @@ class LruCache {
   /// is already present the incumbent wins and is bumped instead.
   /// Deterministic producers racing on one key thereby all converge on
   /// whichever result landed first.
-  Value Put(const Key& key, Value value) {
+  Value Put(const Key& key, Value value, [[maybe_unused]] const Mutex& mu)
+      REQUIRES(mu) {
     if (cap_ == 0) return value;
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -64,9 +78,21 @@ class LruCache {
     return entries_.front().value;
   }
 
+  /// Changes the capacity in place, evicting exact-LRU entries until the
+  /// cache fits. Shrinking to 0 empties it (and restores the pass-through
+  /// Put behavior); growing never drops anything.
+  void SetCap(size_t cap, [[maybe_unused]] const Mutex& mu) REQUIRES(mu) {
+    cap_ = cap;
+    while (index_.size() > cap_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+    }
+  }
+
   /// Visits every (key, value) pair, most-recently-used first.
   template <typename Fn>
-  void ForEachMruFirst(Fn&& fn) const {
+  void ForEachMruFirst(Fn&& fn, [[maybe_unused]] const Mutex& mu) const
+      REQUIRES(mu) {
     for (const Entry& e : entries_) fn(e.key, e.value);
   }
 

@@ -241,8 +241,8 @@ ShardedServiceView::BuildMerge(uint32_t k, int h,
       group.Run([this, s, k, h, &merged, &hit] {
         const ScatterKey key{s, h, k};
         {
-          std::lock_guard<std::mutex> lock(merge_mu_);
-          if (auto cached = scatter_cache_.Get(key)) {
+          MutexLock lock(merge_mu_);
+          if (auto cached = scatter_cache_.Get(key, merge_mu_)) {
             merged->shard[s] = std::move(cached);
             hit[s] = 1;
             return;
@@ -250,8 +250,8 @@ ShardedServiceView::BuildMerge(uint32_t k, int h,
         }
         auto built = std::make_shared<const ComponentSummary>(
             BuildShardFragments(s, k, h));
-        std::lock_guard<std::mutex> lock(merge_mu_);
-        merged->shard[s] = scatter_cache_.Put(key, std::move(built));
+        MutexLock lock(merge_mu_);
+        merged->shard[s] = scatter_cache_.Put(key, std::move(built), merge_mu_);
       });
     }
   }
@@ -273,9 +273,9 @@ ShardedServiceView::Merge(uint32_t k, int h,
                           ScatterGatherStats* stats) const {
   const MergeKey key{h, k};
   {
-    std::lock_guard<std::mutex> lock(merge_mu_);
+    MutexLock lock(merge_mu_);
     ++hot_hits_[key];  // ranks the publish-time pre-merge
-    if (auto cached = merge_cache_.Get(key)) {
+    if (auto cached = merge_cache_.Get(key, merge_mu_)) {
       if (stats != nullptr) ++stats->merge_hits;
       return cached;
     }
@@ -284,8 +284,8 @@ ShardedServiceView::Merge(uint32_t k, int h,
   auto merged = BuildMerge(k, h, stats);
   // Merges are deterministic, so a lost insert race just adopts the
   // winner's identical result (LruCache::Put keeps the incumbent).
-  std::lock_guard<std::mutex> lock(merge_mu_);
-  return merge_cache_.Put(key, std::move(merged));
+  MutexLock lock(merge_mu_);
+  return merge_cache_.Put(key, std::move(merged), merge_mu_);
 }
 
 void ShardedServiceView::CarryFrom(const ShardedServiceView& prev,
@@ -367,17 +367,19 @@ void ShardedServiceView::CarryFrom(const ShardedServiceView& prev,
       prev_scatters;
   std::map<MergeKey, uint64_t> hot;
   {
-    std::lock_guard<std::mutex> lock(prev.merge_mu_);
+    MutexLock lock(prev.merge_mu_);
     prev.merge_cache_.ForEachMruFirst(
         [&](const MergeKey& key,
             const std::shared_ptr<const MergedComponents>& value) {
           prev_merges.emplace_back(key, value);
-        });
+        },
+        prev.merge_mu_);
     prev.scatter_cache_.ForEachMruFirst(
         [&](const ScatterKey& key,
             const std::shared_ptr<const ComponentSummary>& value) {
           prev_scatters.emplace_back(key, value);
-        });
+        },
+        prev.merge_mu_);
     // Hot counters decay by half per epoch; once-touched keys fall out.
     for (const auto& [key, count] : prev.hot_hits_) {
       if (count / 2 > 0) hot[key] = count / 2;
@@ -386,11 +388,11 @@ void ShardedServiceView::CarryFrom(const ShardedServiceView& prev,
 
   // -- Carry still-valid per-shard scatters (LRU first preserves recency) --
   {
-    std::lock_guard<std::mutex> lock(merge_mu_);
+    MutexLock lock(merge_mu_);
     for (auto it = prev_scatters.rbegin(); it != prev_scatters.rend(); ++it) {
       const auto [s, h, k] = it->first;
       if (gate[s][h - 1].Valid(k, shard_gained[s] != 0)) {
-        scatter_cache_.Put(it->first, it->second);
+        scatter_cache_.Put(it->first, it->second, merge_mu_);
       }
     }
     hot_hits_ = hot;
@@ -413,8 +415,8 @@ void ShardedServiceView::CarryFrom(const ShardedServiceView& prev,
     const bool rel_removed = removed_ceiling[h - 1] >= static_cast<int64_t>(k);
     if (all_valid && !rel_added && !rel_removed) {
       // CARRY: nothing this merge depends on changed — share the pointer.
-      std::lock_guard<std::mutex> lock(merge_mu_);
-      merge_cache_.Put(it->first, entry);
+      MutexLock lock(merge_mu_);
+      merge_cache_.Put(it->first, entry, merge_mu_);
       if (stats != nullptr) ++stats->merges_carried;
       continue;
     }
@@ -448,8 +450,8 @@ void ShardedServiceView::CarryFrom(const ShardedServiceView& prev,
         next->fragment_root[i] = Find(parent, i);
       }
       {
-        std::lock_guard<std::mutex> lock(merge_mu_);
-        merge_cache_.Put(it->first, std::move(next));
+        MutexLock lock(merge_mu_);
+        merge_cache_.Put(it->first, std::move(next), merge_mu_);
       }
       if (stats != nullptr) {
         ++stats->merges_spliced;
@@ -490,9 +492,9 @@ void ShardedServiceView::CarryFrom(const ShardedServiceView& prev,
       }
     }
     {
-      std::lock_guard<std::mutex> lock(merge_mu_);
+      MutexLock lock(merge_mu_);
       for (int s : rebuild) {
-        scatter_cache_.Put(ScatterKey{s, h, k}, next->shard[s]);
+        scatter_cache_.Put(ScatterKey{s, h, k}, next->shard[s], merge_mu_);
       }
     }
     if (stats != nullptr) {
@@ -501,8 +503,8 @@ void ShardedServiceView::CarryFrom(const ShardedServiceView& prev,
       stats->scatter_hits += static_cast<uint64_t>(S) - rebuild.size();
     }
     FinishMerge(next.get(), stats);
-    std::lock_guard<std::mutex> lock(merge_mu_);
-    merge_cache_.Put(it->first, std::move(next));
+    MutexLock lock(merge_mu_);
+    merge_cache_.Put(it->first, std::move(next), merge_mu_);
   }
 
   // -- Hot-set pre-merge ---------------------------------------------------
@@ -521,13 +523,15 @@ void ShardedServiceView::CarryFrom(const ShardedServiceView& prev,
   for (const auto& [count, key] : ranked) {
     if (built >= hot_premerge) break;
     {
-      std::lock_guard<std::mutex> lock(merge_mu_);
-      if (merge_cache_.Get(key) != nullptr) continue;  // already resident
+      MutexLock lock(merge_mu_);
+      if (merge_cache_.Get(key, merge_mu_) != nullptr) {
+        continue;  // already resident
+      }
     }
     auto merged = BuildMerge(key.second, key.first, stats);
     {
-      std::lock_guard<std::mutex> lock(merge_mu_);
-      merge_cache_.Put(key, std::move(merged));
+      MutexLock lock(merge_mu_);
+      merge_cache_.Put(key, std::move(merged), merge_mu_);
     }
     if (stats != nullptr) ++stats->merges_premerged;
     ++built;
@@ -649,6 +653,8 @@ ShardedHCoreService::ShardedHCoreService(Graph g,
   std::vector<std::shared_ptr<const HCoreSnapshot>> snaps;
   snaps.reserve(shards_.size());
   for (const auto& shard : shards_) snaps.push_back(shard->snapshot());
+  // Not shared yet, but view_ is guarded — hold the lock it names.
+  MutexLock lock(mu_);
   view_.reset(new ShardedServiceView(std::move(snaps), std::move(cut),
                                      partition_, /*service_epoch=*/0, pool_,
                                      options_.merge_cache_cap,
@@ -656,12 +662,12 @@ ShardedHCoreService::ShardedHCoreService(Graph g,
 }
 
 std::shared_ptr<const ShardedServiceView> ShardedHCoreService::view() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return view_;
 }
 
 size_t ShardedHCoreService::ApplyBatch(std::span<const EdgeEdit> edits) {
-  std::lock_guard<std::mutex> writer(update_mu_);
+  MutexLock writer(update_mu_);
   std::shared_ptr<const ShardedServiceView> prev = view();
 
   // Canonicalize ONCE at the front door; every shard then applies the same
@@ -699,7 +705,7 @@ size_t ShardedHCoreService::ApplyBatch(std::span<const EdgeEdit> edits) {
                   options_.hot_premerge, &carry);
   AccumulateGather(carry);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   view_ = std::move(next);
   return effective.size();
 }
@@ -723,7 +729,7 @@ CommunityResult ShardedHCoreService::Community(
 
 void ShardedHCoreService::AccumulateGather(
     const ScatterGatherStats& delta) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gather_.Add(delta);
 }
 
@@ -731,14 +737,14 @@ ShardedServiceStats ShardedHCoreService::stats() const {
   ShardedServiceStats out;
   out.shard.reserve(shards_.size());
   for (const auto& shard : shards_) out.shard.push_back(shard->stats());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.gather = gather_;
   return out;
 }
 
 void ShardedHCoreService::ResetStats() {
   for (const auto& shard : shards_) shard->ResetStats();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gather_ = ScatterGatherStats{};
 }
 

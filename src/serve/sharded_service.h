@@ -72,7 +72,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <tuple>
 #include <utility>
@@ -82,6 +81,8 @@
 #include "graph/partition.h"
 #include "index/hcore_index.h"
 #include "serve/lru_cache.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hcore {
@@ -290,7 +291,8 @@ class ShardedServiceView {
   /// over the cut edges surviving at level (k, h). Counts a scatter_hit or
   /// shard_scatter per shard.
   std::shared_ptr<const MergedComponents> BuildMerge(
-      uint32_t k, int h, ScatterGatherStats* stats) const;
+      uint32_t k, int h, ScatterGatherStats* stats) const
+      EXCLUDES(merge_mu_);
 
   /// The summaries' union pass: assigns fragment_base, unions fragments
   /// across the cut edges whose endpoints both survive at level (k, h),
@@ -304,7 +306,7 @@ class ShardedServiceView {
   /// the hit or miss plus any construction work.
   std::shared_ptr<const MergedComponents> Merge(uint32_t k, int h,
                                                 ScatterGatherStats* stats)
-      const;
+      const EXCLUDES(merge_mu_);
 
   /// Publish-time incremental maintenance (called by the service on the
   /// not-yet-published successor of `prev`, after the batch and cut splice):
@@ -316,7 +318,8 @@ class ShardedServiceView {
   void CarryFrom(const ShardedServiceView& prev,
                  std::span<const EdgeEdit> effective,
                  const CutEdgeDelta& cut_delta, double budget,
-                 size_t hot_premerge, ScatterGatherStats* stats) const;
+                 size_t hot_premerge, ScatterGatherStats* stats) const
+      EXCLUDES(merge_mu_, prev.merge_mu_);
 
   std::vector<std::shared_ptr<const HCoreSnapshot>> snapshots_;
   std::vector<uint64_t> shard_epochs_;
@@ -331,13 +334,16 @@ class ShardedServiceView {
   // (shard, h, k), both exact-LRU (serve/lru_cache.h) and both carried
   // forward across views by CarryFrom. hot_hits_ ranks keys for the
   // publish-time pre-merge. Guarded: views are shared by concurrent
-  // readers.
-  mutable std::mutex merge_mu_;
+  // readers. (The LruCache accessors additionally take merge_mu_ as their
+  // REQUIRES capability parameter, so even a cache reached through another
+  // view object — CarryFrom reads its predecessor's — names the right
+  // lock.)
+  mutable Mutex merge_mu_;
   mutable LruCache<MergeKey, std::shared_ptr<const MergedComponents>>
-      merge_cache_;
+      merge_cache_ GUARDED_BY(merge_mu_);
   mutable LruCache<ScatterKey, std::shared_ptr<const ComponentSummary>>
-      scatter_cache_;
-  mutable std::map<MergeKey, uint64_t> hot_hits_;
+      scatter_cache_ GUARDED_BY(merge_mu_);
+  mutable std::map<MergeKey, uint64_t> hot_hits_ GUARDED_BY(merge_mu_);
 };
 
 /// The serving tier. Thread-safe: any number of concurrent readers (view()
@@ -354,7 +360,7 @@ class ShardedHCoreService {
   int max_h() const { return options_.index.max_h; }
 
   /// The current consistent cross-shard view (one pointer copy).
-  std::shared_ptr<const ShardedServiceView> view() const;
+  std::shared_ptr<const ShardedServiceView> view() const EXCLUDES(mu_);
 
   /// Applies one edit batch tier-wide: canonicalizes the batch against the
   /// current epoch, fans the application out over every shard on the pool,
@@ -363,7 +369,8 @@ class ShardedHCoreService {
   /// epoch vector. Returns the number of effective edits (0 publishes
   /// nothing). Readers holding older views are never blocked and never see
   /// a partial batch.
-  size_t ApplyBatch(std::span<const EdgeEdit> edits);
+  size_t ApplyBatch(std::span<const EdgeEdit> edits)
+      EXCLUDES(update_mu_, mu_);
 
   /// Convenience wrappers over the current view; the scatter-gather ones
   /// accumulate protocol counters into stats().
@@ -373,14 +380,14 @@ class ShardedHCoreService {
 
   /// Cumulative per-shard and gather-side counters (publish-time carry /
   /// splice / premerge work is accumulated here by ApplyBatch).
-  ShardedServiceStats stats() const;
+  ShardedServiceStats stats() const EXCLUDES(mu_);
 
   /// Zeroes every shard's counters and the gather-side counters (epochs and
   /// published views are untouched) — `stats reset` in the serve REPL.
-  void ResetStats();
+  void ResetStats() EXCLUDES(mu_);
 
  private:
-  void AccumulateGather(const ScatterGatherStats& delta) const;
+  void AccumulateGather(const ScatterGatherStats& delta) const EXCLUDES(mu_);
 
   ShardedServiceOptions options_;
   VertexPartition partition_;
@@ -388,10 +395,10 @@ class ShardedHCoreService {
   // Shared fan-out pool: shard construction, per-shard batch application,
   // and the views' read-side scatters (TaskGroup keeps waits scoped).
   std::shared_ptr<ThreadPool> pool_;
-  std::mutex update_mu_;              // serializes writers
-  mutable std::mutex mu_;             // guards view_ swap and gather_
-  std::shared_ptr<const ShardedServiceView> view_;
-  mutable ScatterGatherStats gather_;
+  Mutex update_mu_;   // serializes writers
+  mutable Mutex mu_;  // guards view_ swap and gather_
+  std::shared_ptr<const ShardedServiceView> view_ GUARDED_BY(mu_);
+  mutable ScatterGatherStats gather_ GUARDED_BY(mu_);
 };
 
 }  // namespace hcore

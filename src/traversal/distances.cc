@@ -103,8 +103,7 @@ uint32_t EstimateDiameter(const Graph& g, int sweeps, Rng* rng) {
 
 bool IsHClub(const Graph& g, const std::vector<VertexId>& vertices, int h) {
   if (vertices.size() <= 1) return true;
-  auto [sub, map] = g.InducedSubgraph(vertices);
-  (void)map;
+  [[maybe_unused]] auto [sub, map] = g.InducedSubgraph(vertices);
   const VertexId n = sub.num_vertices();
   for (VertexId v = 0; v < n; ++v) {
     std::vector<uint32_t> dist = BfsDistances(sub, v);

@@ -15,6 +15,8 @@ std::atomic<uint64_t> g_scratch_allocations{0};
 
 HDegreeComputer::HDegreeComputer(VertexId n, int num_threads)
     : capacity_(n), num_threads_(std::max(1, num_threads)) {
+  // The constructing thread is trivially the sole owner.
+  coordinator_.Assume();
   // Scratch stays null until a worker traverses (see the class comment);
   // only the pool is eager, and only when threads were requested.
   scratch_.resize(num_threads_);

@@ -20,6 +20,8 @@
 #include "engine/vertex_mask.h"
 #include "graph/graph.h"
 #include "traversal/bounded_bfs.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hcore {
@@ -36,41 +38,59 @@ inline constexpr uint8_t kMarkNeedsRecompute = 0x80;
 /// lazily, on the first traversal a worker actually runs: callers that only
 /// construct a computer — the classic h = 1 decomposition, whose engine
 /// fast path walks adjacency directly — pay nothing.
+///
+/// Ownership contract (machine-checked): ONE coordinator thread drives the
+/// computer at a time. The batch APIs fan work out on the internal pool but
+/// materialize and hand out scratch from the coordinator, and every
+/// traversal/stats method REQUIRES the `coordinator()` role — callers claim
+/// it with `computer.coordinator().Assume()` at the point where their
+/// protocol (a single-threaded driver, a TaskGroup barrier) makes them the
+/// sole driver.
 class HDegreeComputer {
  public:
   /// `num_threads` <= 1 selects the sequential path (no pool is created).
   /// `n` only sizes scratch when it is eventually materialized.
   HDegreeComputer(VertexId n, int num_threads);
 
+  /// The single-coordinator capability (see the class comment).
+  const ThreadRole& coordinator() const RETURN_CAPABILITY(coordinator_) {
+    return coordinator_;
+  }
+
   int num_threads() const { return num_threads_; }
 
   /// Raises the vertex capacity used to size lazily-created scratch.
   /// Existing scratch grows on its next traversal (BoundedBfs::Run ensures
   /// capacity per call); this only keeps future allocations right-sized.
-  void EnsureCapacity(VertexId n) { capacity_ = std::max(capacity_, n); }
+  void EnsureCapacity(VertexId n) REQUIRES(coordinator_) {
+    capacity_ = std::max(capacity_, n);
+  }
 
   /// Process-wide count of BoundedBfs scratch materializations, for tests
   /// and telemetry asserting that h = 1 fast paths never allocate scratch.
   static uint64_t total_scratch_allocations();
 
   /// h-degree of one vertex (runs on the calling thread).
-  uint32_t Compute(const Graph& g, const VertexMask& alive, VertexId v, int h);
+  uint32_t Compute(const Graph& g, const VertexMask& alive, VertexId v, int h)
+      REQUIRES(coordinator_);
 
   /// h-degrees for every vertex in `batch`; out[i] receives the h-degree of
   /// batch[i]. Parallel when the computer has threads and the batch is
   /// large enough to amortize dispatch.
   void ComputeBatch(const Graph& g, const VertexMask& alive, int h,
-                    std::span<const VertexId> batch, uint32_t* out);
+                    std::span<const VertexId> batch, uint32_t* out)
+      REQUIRES(coordinator_);
 
   /// h-degrees for all alive vertices into out (size n; dead entries are
   /// left untouched).
   void ComputeAllAlive(const Graph& g, const VertexMask& alive, int h,
-                       std::vector<uint32_t>* out);
+                       std::vector<uint32_t>* out) REQUIRES(coordinator_);
 
   /// Enumerates the h-neighborhood of `v` with distances (sequential).
   uint32_t CollectNeighborhood(const Graph& g, const VertexMask& alive,
                                VertexId v, int h,
-                               std::vector<std::pair<VertexId, int>>* out);
+                               std::vector<std::pair<VertexId, int>>* out)
+      REQUIRES(coordinator_);
 
   /// Marks every alive vertex within distance h of any source and appends
   /// it (exactly once across all workers) to one of the `out_per_worker`
@@ -97,7 +117,8 @@ class HDegreeComputer {
   void MarkNeighborhoods(const Graph& g, const VertexMask& alive, int h,
                          std::span<const VertexId> sources,
                          std::atomic<uint8_t>* marks,
-                         std::vector<std::vector<VertexId>>* out_per_worker);
+                         std::vector<std::vector<VertexId>>* out_per_worker)
+      REQUIRES(coordinator_);
 
   /// Pool backing the batch APIs (null when single-threaded). The parallel
   /// peeler borrows it for its own per-round fan-outs; the computer itself
@@ -105,16 +126,20 @@ class HDegreeComputer {
   ThreadPool* pool() { return pool_.get(); }
 
   /// Total vertices visited by all BFS runs (the paper's Table-3 "visits").
-  uint64_t total_visited() const;
-  void ResetStats();
+  uint64_t total_visited() const REQUIRES(coordinator_);
+  void ResetStats() REQUIRES(coordinator_);
 
  private:
   /// Materializes (on the calling thread) and returns worker `t`'s scratch.
-  BoundedBfs& Scratch(int t);
+  BoundedBfs& Scratch(int t) REQUIRES(coordinator_);
 
-  VertexId capacity_;
+  ThreadRole coordinator_;
+  VertexId capacity_ GUARDED_BY(coordinator_);
   int num_threads_;
-  std::vector<std::unique_ptr<BoundedBfs>> scratch_;  // one per worker, lazy
+  // One per worker, lazy. Materialized by the coordinator; during a batch,
+  // slot t is lent to exactly one pool worker via a raw pointer until the
+  // dispatch-side Wait() barrier.
+  std::vector<std::unique_ptr<BoundedBfs>> scratch_ GUARDED_BY(coordinator_);
   std::unique_ptr<ThreadPool> pool_;
 };
 

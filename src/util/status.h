@@ -60,8 +60,12 @@ class Status {
 template <typename T>
 class Result {
  public:
-  Result(T value) : value_(std::move(value)), status_() {}  // NOLINT
-  Result(Status status) : status_(std::move(status)) {      // NOLINT
+  // Implicit by design: `return value;` and `return status;` both read
+  // naturally at call sites.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)), status_() {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
     HCORE_CHECK(!status_.ok());
   }
 

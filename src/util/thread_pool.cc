@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "util/mutex.h"
 
 namespace hcore {
 
@@ -14,10 +17,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -25,8 +28,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) task_cv_.Wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -34,24 +37,24 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (tasks_.empty() && active_ == 0) done_cv_.notify_all();
+      if (tasks_.empty() && active_ == 0) done_cv_.NotifyAll();
     }
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!tasks_.empty() || active_ != 0) done_cv_.Wait(lock);
 }
 
 void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
@@ -98,19 +101,23 @@ void TaskGroup::Run(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
     task();
-    std::unique_lock<std::mutex> lock(mu_);
-    if (--pending_ == 0) done_cv_.notify_all();
+    Finish();
   });
 }
 
+void TaskGroup::Finish() {
+  MutexLock lock(mu_);
+  if (--pending_ == 0) done_cv_.NotifyAll();
+}
+
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) done_cv_.Wait(lock);
 }
 
 void MaybeParallelFor(ThreadPool* pool, uint64_t begin, uint64_t end,

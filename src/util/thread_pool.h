@@ -10,13 +10,14 @@
 #define HCORE_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hcore {
 
@@ -33,16 +34,16 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs `body(i)` for every i in [begin, end), distributing iterations
   /// dynamically over the pool in chunks of `grain`. Blocks until done.
   /// The body must be safe to run concurrently for distinct i.
   void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
-                   const std::function<void(uint64_t)>& body);
+                   const std::function<void(uint64_t)>& body) EXCLUDES(mu_);
 
   /// Runs `body(w)` once for each worker index w in [0, workers) and blocks
   /// until all return. The per-worker fan-out used when each task owns
@@ -51,18 +52,19 @@ class ThreadPool {
   /// rounds and h-degree batches are built on this shape. `workers` is
   /// clamped to the pool size; the caller must not enqueue other work on
   /// the pool concurrently (Wait drains the whole pool).
-  void ForEachWorker(int workers, const std::function<void(int)>& body);
+  void ForEachWorker(int workers, const std::function<void(int)>& body)
+      EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  int active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar task_cv_;
+  CondVar done_cv_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  int active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// Runs `body(i)` for i in [begin, end) either sequentially (pool == nullptr
@@ -88,16 +90,20 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Launches `task` on the pool (or inline without one).
-  void Run(std::function<void()> task);
+  void Run(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every task launched through this group has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
+  /// Retires one task: decrements pending_ and wakes waiters at zero.
+  /// Runs on the pool worker that executed the task.
+  void Finish() EXCLUDES(mu_);
+
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  int pending_ = 0;
+  Mutex mu_;
+  CondVar done_cv_;
+  int pending_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hcore

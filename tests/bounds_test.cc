@@ -42,6 +42,7 @@ TEST(BoundsPaperExample, Example5UpperBoundValues) {
   // Example 5 (h = 2): UB(v1) = 4 and UB(vi) = 6 for i >= 2.
   Graph g = gen::PaperFigure1();
   HDegreeComputer degrees(g.num_vertices(), 1);
+  degrees.coordinator().Assume();  // test body is the sole driver
   VertexMask alive(g.num_vertices(), true);
   std::vector<uint32_t> hdeg;
   degrees.ComputeAllAlive(g, alive, 2, &hdeg);
@@ -75,6 +76,7 @@ TEST_P(BoundsProperty, SandwichLb1Lb2CoreUbHdeg) {
   Graph g = MakeRandomGraph(spec);
   const VertexId n = g.num_vertices();
   HDegreeComputer degrees(n, 1);
+  degrees.coordinator().Assume();  // test body is the sole driver
   VertexMask alive(n, true);
   std::vector<uint32_t> hdeg;
   degrees.ComputeAllAlive(g, alive, h, &hdeg);
@@ -103,6 +105,7 @@ TEST_P(BoundsProperty, UpperBoundPeelOrderDominatesFullDistanceConflicts) {
   Graph g = MakeRandomGraph(spec);
   const VertexId n = g.num_vertices();
   HDegreeComputer degrees(n, 1);
+  degrees.coordinator().Assume();  // test body is the sole driver
   VertexMask alive(n, true);
   std::vector<uint32_t> hdeg;
   degrees.ComputeAllAlive(g, alive, h, &hdeg);

@@ -82,6 +82,7 @@ TEST(ClassicCore, H1FastPathAllocatesNoBfsScratch) {
   // Sanity check the counter is live at all: one h = 2 traversal must
   // materialize exactly one scratch instance.
   HDegreeComputer computer(g.num_vertices(), 1);
+  computer.coordinator().Assume();  // test body is the sole driver
   EXPECT_EQ(HDegreeComputer::total_scratch_allocations(), before);
   VertexMask alive(g.num_vertices(), true);
   (void)computer.Compute(g, alive, 0, 2);

@@ -166,6 +166,8 @@ TEST(PeelingEngine, LazyRequeuePopsVertexTwice) {
     bool OnPop(VertexId v, uint32_t k) {
       if (lazy[v]) {
         lazy[v] = 0;
+        // Policies run inline in the single-threaded engine loop.
+        e->degrees().coordinator().Assume();
         e->Requeue(v, e->degrees().Compute(e->graph(), e->alive(), v, 1), k);
         return false;
       }

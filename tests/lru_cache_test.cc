@@ -1,0 +1,152 @@
+// Unit tests for the serving tier's exact-LRU cache: eviction order,
+// adopt-on-collision (the resident value wins), capacity resizing, and
+// recency-order iteration stability across bumps.
+//
+// Every call passes the guarding Mutex the annotated API REQUIRES; the test
+// holds it for the duration of each test body the same way the sharded view
+// holds merge_mu_.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/lru_cache.h"
+#include "util/mutex.h"
+
+namespace hcore {
+namespace {
+
+using IntCache = LruCache<int, std::string>;
+
+std::vector<int> KeysMruFirst(const IntCache& cache, const Mutex& mu)
+    REQUIRES(mu) {
+  std::vector<int> keys;
+  cache.ForEachMruFirst(
+      [&](int k, const std::string&) { keys.push_back(k); }, mu);
+  return keys;
+}
+
+TEST(LruCache, EvictsExactLeastRecentlyUsed) {
+  Mutex mu;
+  MutexLock lock(mu);
+  IntCache cache(3);
+  cache.Put(1, "a", mu);
+  cache.Put(2, "b", mu);
+  cache.Put(3, "c", mu);
+  EXPECT_EQ(cache.size(mu), 3u);
+
+  // Touch 1 so 2 becomes the LRU; the next insert must evict exactly 2.
+  EXPECT_EQ(cache.Get(1, mu), "a");
+  cache.Put(4, "d", mu);
+  EXPECT_EQ(cache.size(mu), 3u);
+  EXPECT_EQ(cache.Get(2, mu), "");   // evicted
+  EXPECT_EQ(cache.Get(3, mu), "c");  // survived
+  EXPECT_EQ(cache.Get(1, mu), "a");
+  EXPECT_EQ(cache.Get(4, mu), "d");
+}
+
+TEST(LruCache, MissReturnsDefaultAndDoesNotInsert) {
+  Mutex mu;
+  MutexLock lock(mu);
+  IntCache cache(2);
+  EXPECT_EQ(cache.Get(7, mu), "");
+  EXPECT_EQ(cache.size(mu), 0u);
+}
+
+TEST(LruCache, PutOnExistingKeyAdoptsTheIncumbent) {
+  // Deterministic producers racing on one key must all converge on the
+  // value that landed first — Put returns the RESIDENT value, not its
+  // argument, and the incumbent is bumped to MRU.
+  Mutex mu;
+  MutexLock lock(mu);
+  IntCache cache(2);
+  EXPECT_EQ(cache.Put(1, "first", mu), "first");
+  EXPECT_EQ(cache.Put(1, "second", mu), "first");
+  EXPECT_EQ(cache.size(mu), 1u);
+  EXPECT_EQ(cache.Get(1, mu), "first");
+}
+
+TEST(LruCache, AdoptionSharesTheResidentPointer) {
+  // The serving tier stores shared_ptrs; a colliding Put must hand every
+  // caller the same object, not a duplicate.
+  Mutex mu;
+  MutexLock lock(mu);
+  LruCache<int, std::shared_ptr<int>> cache(2);
+  auto first = std::make_shared<int>(41);
+  auto second = std::make_shared<int>(42);
+  EXPECT_EQ(cache.Put(5, first, mu), first);
+  EXPECT_EQ(cache.Put(5, second, mu), first);
+  EXPECT_EQ(cache.Get(5, mu).get(), first.get());
+}
+
+TEST(LruCache, ZeroCapIsPassThrough) {
+  Mutex mu;
+  MutexLock lock(mu);
+  IntCache cache(0);
+  EXPECT_EQ(cache.Put(1, "x", mu), "x");  // handed straight back
+  EXPECT_EQ(cache.size(mu), 0u);
+  EXPECT_EQ(cache.Get(1, mu), "");
+}
+
+TEST(LruCache, SetCapShrinkEvictsLruFirst) {
+  Mutex mu;
+  MutexLock lock(mu);
+  IntCache cache(4);
+  for (int k = 1; k <= 4; ++k) cache.Put(k, std::string(1, 'a' + k), mu);
+  cache.Get(1, mu);  // recency now: 1, 4, 3, 2
+  cache.SetCap(2, mu);
+  EXPECT_EQ(cache.cap(mu), 2u);
+  EXPECT_EQ(cache.size(mu), 2u);
+  EXPECT_EQ(KeysMruFirst(cache, mu), (std::vector<int>{1, 4}));
+}
+
+TEST(LruCache, SetCapToZeroEmptiesAndRestoresPassThrough) {
+  Mutex mu;
+  MutexLock lock(mu);
+  IntCache cache(2);
+  cache.Put(1, "a", mu);
+  cache.SetCap(0, mu);
+  EXPECT_EQ(cache.size(mu), 0u);
+  EXPECT_EQ(cache.Put(2, "b", mu), "b");
+  EXPECT_EQ(cache.size(mu), 0u);
+}
+
+TEST(LruCache, SetCapGrowKeepsEverything) {
+  Mutex mu;
+  MutexLock lock(mu);
+  IntCache cache(2);
+  cache.Put(1, "a", mu);
+  cache.Put(2, "b", mu);
+  cache.SetCap(5, mu);
+  EXPECT_EQ(cache.size(mu), 2u);
+  for (int k = 3; k <= 5; ++k) cache.Put(k, "x", mu);
+  EXPECT_EQ(cache.size(mu), 5u);
+  EXPECT_EQ(cache.Get(1, mu), "a");
+}
+
+TEST(LruCache, IterationIsMruFirstAndStableAcrossBumps) {
+  Mutex mu;
+  MutexLock lock(mu);
+  IntCache cache(3);
+  cache.Put(1, "a", mu);
+  cache.Put(2, "b", mu);
+  cache.Put(3, "c", mu);
+  EXPECT_EQ(KeysMruFirst(cache, mu), (std::vector<int>{3, 2, 1}));
+
+  // A Get bump reorders recency without invalidating anything: the splice
+  // moves the node, it never reallocates (std::list iterator stability is
+  // what the carry-forward path relies on).
+  cache.Get(1, mu);
+  EXPECT_EQ(KeysMruFirst(cache, mu), (std::vector<int>{1, 3, 2}));
+  cache.Get(3, mu);
+  EXPECT_EQ(KeysMruFirst(cache, mu), (std::vector<int>{3, 1, 2}));
+  // All three values still reachable and correct after the churn.
+  EXPECT_EQ(cache.Get(1, mu), "a");
+  EXPECT_EQ(cache.Get(2, mu), "b");
+  EXPECT_EQ(cache.Get(3, mu), "c");
+}
+
+}  // namespace
+}  // namespace hcore

@@ -25,6 +25,7 @@ TEST(HDegreeComputer, ScratchMaterializesLazilyAndIsReused) {
   VertexMask alive(8, true);
   const uint64_t before = HDegreeComputer::total_scratch_allocations();
   HDegreeComputer computer(8, 1);
+  computer.coordinator().Assume();  // test body is the sole driver
   // Construction allocates nothing (the h = 1 fast paths rely on this).
   EXPECT_EQ(HDegreeComputer::total_scratch_allocations(), before);
   EXPECT_EQ(computer.Compute(g, alive, 0, 2), 4u);
@@ -138,6 +139,8 @@ TEST_P(HDegreeProperty, ParallelMatchesSequential) {
   for (VertexId v = 0; v < n; v += 3) alive.Kill(v);
   HDegreeComputer seq(n, 1);
   HDegreeComputer par(n, 4);
+  seq.coordinator().Assume();  // test body is the sole driver of both
+  par.coordinator().Assume();
   std::vector<uint32_t> a(n, 0), b(n, 0);
   seq.ComputeAllAlive(g, alive, h, &a);
   par.ComputeAllAlive(g, alive, h, &b);
