@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "latency.h"
 #include "serve/sharded_service.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -43,12 +44,7 @@ using namespace hcore;
 
 constexpr int kClientThreads = 4;
 
-struct LatencyStats {
-  double qps = 0.0;
-  double mean_ms = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
-};
+using LatencyStats = bench::LatencySummary;
 
 struct Row {
   int shards = 0;
@@ -113,24 +109,13 @@ double HammerLatency(int per_thread, uint64_t seed,
   return seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
 }
 
-/// Sorts `latencies_ms` and folds it into mean/p50/p99.
+/// Sorts `latencies_ms` and folds it into mean/p50/p99 via the shared
+/// exact nearest-rank summary (bench/latency.h). The previous local
+/// implementation indexed percentiles at floor(p*n) — one rank high for
+/// most n — so cold/warm p50 and p99 in BENCH_serve.json were slightly
+/// inflated before this was routed through the shared helper.
 LatencyStats Summarize(double qps, std::vector<double>* latencies_ms) {
-  LatencyStats out;
-  out.qps = qps;
-  if (latencies_ms->empty()) return out;
-  std::sort(latencies_ms->begin(), latencies_ms->end());
-  double sum = 0.0;
-  for (double ms : *latencies_ms) sum += ms;
-  out.mean_ms = sum / static_cast<double>(latencies_ms->size());
-  auto pct = [&](double p) {
-    const size_t idx = std::min(
-        latencies_ms->size() - 1,
-        static_cast<size_t>(p * static_cast<double>(latencies_ms->size())));
-    return (*latencies_ms)[idx];
-  };
-  out.p50_ms = pct(0.50);
-  out.p99_ms = pct(0.99);
-  return out;
+  return bench::SummarizeLatencies(qps, latencies_ms);
 }
 
 void WriteJson(const char* path, VertexId n, const std::vector<Row>& rows) {

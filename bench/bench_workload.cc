@@ -1,0 +1,295 @@
+// Closed-loop serve workload driver: the "millions of users" measurement.
+//
+// Runs the LDBC-contest-style mixed workloads of serve/workload.h against a
+// ShardedHCoreService over a clustered serving substrate: per mix, a fixed
+// closed-loop run reporting QPS and exact-rank p50/p99/p999 per op class
+// (log-bucket histogram resolution, see LatencyHistogram), then a
+// saturation search that doubles the client count until QPS plateaus.
+//
+//   --json=PATH      write BENCH_workload.json (CI artifact)
+//   --check          enforcing mode: (1) a collecting run's write batches
+//                    are replayed into a single-index oracle and every
+//                    sampled spectrum/component/community answer must
+//                    match (CompareToSingleIndexOracle == 0), and (2) every
+//                    op class's p99 must stay under --max-p99-ms.
+//   --max-p99-ms=N   sanity bound for --check (default 5000 — generous:
+//                    it exists to catch pathological stalls, not to gate
+//                    performance tuning).
+//   --shards=N       shard count of the tier under test (default 4)
+//   --clients=N      clients for the fixed-mix runs (default 4)
+//   --ops=N          override ops per client (default 75 quick / 2000 full)
+//   --full           1M-vertex substrate and a deeper op budget
+//
+// Quick mode is sized for the CI smoke: ApplyBatch dominates wall time
+// (each write rebuilds every shard's level structure), so the quick
+// substrate stays small enough that the write-heavy mix finishes in tens
+// of seconds on a small runner. --full is the real measurement.
+//
+// The recorded `hardware_threads` makes flat saturation curves on small CI
+// runners legible as runner artifacts rather than scaling defects.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "latency.h"
+#include "serve/workload.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace hcore;
+
+/// Heterogeneous clustered serving substrate (same family as
+/// bench_serve_scatter's): communities of varying size and density plus
+/// sparse random bridges, so innermost-core components are community-sized
+/// and the hash partition cuts every community across shards.
+Graph Clustered(VertexId n, Rng* rng) {
+  GraphBuilder b(n);
+  VertexId v = 0;
+  while (v < n) {
+    VertexId size = 8 + rng->NextIndex(65);
+    if (v + size > n) size = n - v;
+    const double p = std::min(1.0, (4.0 + 8.0 * rng->NextDouble()) / size);
+    for (VertexId i = 0; i < size; ++i) {
+      for (VertexId j = i + 1; j < size; ++j) {
+        if (rng->NextBool(p)) b.AddEdge(v + i, v + j);
+      }
+    }
+    v += size;
+  }
+  for (VertexId e = 0; e < n / 32; ++e) {
+    b.AddEdge(rng->NextIndex(n), rng->NextIndex(n));
+  }
+  return b.Build();
+}
+
+std::vector<WorkloadMix> Mixes() {
+  WorkloadMix read_heavy;
+  read_heavy.name = "read-heavy";
+  read_heavy.core = 0.60;
+  read_heavy.spectrum = 0.25;
+  read_heavy.densest = 0.05;
+  read_heavy.component = 0.08;
+  read_heavy.community = 0.02;
+  read_heavy.write = 0.0;
+
+  WorkloadMix mixed;  // the defaults: LDBC-ish interactive mix
+  mixed.name = "mixed";
+
+  WorkloadMix write_heavy;
+  write_heavy.name = "write-heavy";
+  write_heavy.core = 0.30;
+  write_heavy.spectrum = 0.10;
+  write_heavy.densest = 0.02;
+  write_heavy.component = 0.12;
+  write_heavy.community = 0.01;
+  write_heavy.write = 0.45;
+
+  return {read_heavy, mixed, write_heavy};
+}
+
+struct MixRow {
+  std::string name;
+  int clients = 0;
+  WorkloadReport report;
+  SaturationResult saturation;
+};
+
+void PrintReport(const MixRow& row) {
+  std::printf("mix %-11s clients=%d qps=%.0f (%.2fs)\n", row.name.c_str(),
+              row.clients, row.report.qps, row.report.seconds);
+  std::printf("  %-10s %10s %10s %10s %10s %10s\n", "op", "count", "mean_ms",
+              "p50_ms", "p99_ms", "p999_ms");
+  for (int i = 0; i < kNumWorkloadOps; ++i) {
+    const OpClassReport& c = row.report.per_op[i];
+    if (c.count == 0) continue;
+    std::printf("  %-10s %10llu %10.3f %10.3f %10.3f %10.3f\n",
+                WorkloadOpName(static_cast<WorkloadOp>(i)),
+                static_cast<unsigned long long>(c.count), c.latency.MeanMs(),
+                c.latency.PercentileMs(0.50), c.latency.PercentileMs(0.99),
+                c.latency.PercentileMs(0.999));
+  }
+  std::printf("  saturation: clients=%d peak_qps=%.0f (steps:",
+              row.saturation.saturation_clients, row.saturation.peak_qps);
+  for (const SaturationStep& s : row.saturation.steps) {
+    std::printf(" %d->%.0f", s.clients, s.qps);
+  }
+  std::printf(")\n");
+  std::fflush(stdout);
+}
+
+void WriteJson(const char* path, VertexId n, uint64_t m, int shards,
+               double zipf, const std::vector<MixRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"workload\",\n  \"n\": %u,\n  \"m\": %llu,\n"
+               "  \"shards\": %d,\n  \"zipf_skew\": %.2f,\n"
+               "  \"hardware_threads\": %u,\n  \"mixes\": [\n",
+               n, static_cast<unsigned long long>(m), shards, zipf,
+               std::thread::hardware_concurrency());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const MixRow& row = rows[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"clients\": %d, \"qps\": %.1f, "
+                 "\"seconds\": %.3f, \"saturation_clients\": %d, "
+                 "\"saturation_qps\": %.1f, \"classes\": [\n",
+                 row.name.c_str(), row.clients, row.report.qps,
+                 row.report.seconds, row.saturation.saturation_clients,
+                 row.saturation.peak_qps);
+    bool first = true;
+    for (int i = 0; i < kNumWorkloadOps; ++i) {
+      const OpClassReport& c = row.report.per_op[i];
+      if (c.count == 0) continue;
+      std::fprintf(
+          f,
+          "      %s{\"op\": \"%s\", \"count\": %llu, \"mean_ms\": %.3f, "
+          "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f}",
+          first ? "" : ",",
+          WorkloadOpName(static_cast<WorkloadOp>(i)),
+          static_cast<unsigned long long>(c.count), c.latency.MeanMs(),
+          c.latency.PercentileMs(0.50), c.latency.PercentileMs(0.99),
+          c.latency.PercentileMs(0.999));
+      std::fprintf(f, "\n");
+      first = false;
+    }
+    std::fprintf(f, "    ]}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const char* json_path = nullptr;
+  bool check = false;
+  double max_p99_ms = 5000.0;
+  int shards = 4;
+  int clients = 4;
+  int ops_override = 0;  // --ops=N overrides ops_per_client
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strncmp(argv[i], "--max-p99-ms=", 13) == 0) {
+      max_p99_ms = std::atof(argv[i] + 13);
+    }
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    }
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::atoi(argv[i] + 10);
+    }
+    if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      ops_override = std::atoi(argv[i] + 6);
+    }
+  }
+  if (shards < 1 || clients < 1) {
+    std::fprintf(stderr, "--shards and --clients must be >= 1\n");
+    return 1;
+  }
+  bench::PrintHeader("Closed-loop serve workload driver (mix x latency)");
+
+  VertexId n = args.full ? 1000000 : 10000;
+  if (args.scale_override > 0.0) {
+    n = static_cast<VertexId>(1000000 * args.scale_override);
+  }
+  Rng gen_rng(47);
+  Graph g = Clustered(n, &gen_rng);
+  std::printf("graph: n=%u m=%llu shards=%d hardware_threads=%u (%s)\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              shards, std::thread::hardware_concurrency(),
+              args.full ? "full scale" : "quick scale");
+
+  ShardedServiceOptions service_options;
+  service_options.num_shards = shards;
+  service_options.index.max_h = 2;
+
+  const int ops_per_client =
+      ops_override > 0 ? ops_override : (args.full ? 2000 : 75);
+  const int max_clients = args.full ? 32 : 8;
+  const double zipf_skew = 0.8;
+  bool ok = true;
+
+  // Differential leg first, on its OWN fresh tier (the oracle replay needs
+  // every batch since construction): a collecting mixed run, then replay
+  // into a 1-shard oracle and compare sampled answers.
+  if (check) {
+    std::printf("differential: mixed run vs single-index oracle ...\n");
+    ShardedHCoreService tier(Graph(g), service_options);
+    WorkloadOptions options;
+    options.mix = Mixes()[1];  // mixed
+    options.clients = clients;
+    options.ops_per_client = std::max(50, ops_per_client / 4);
+    options.zipf_skew = zipf_skew;
+    options.seed = 97;
+    options.collect_applied_batches = true;
+    const WorkloadReport report = RunWorkload(&tier, options);
+    const size_t mismatches = CompareToSingleIndexOracle(
+        Graph(g), service_options.index, tier, report);
+    std::printf("differential: %zu write batches, %zu mismatches\n",
+                report.applied_batches.size(), mismatches);
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: sharded workload answers diverged from the "
+                   "single-index oracle\n");
+      ok = false;
+    }
+  }
+
+  ShardedHCoreService service(Graph(g), service_options);
+  std::vector<MixRow> rows;
+  for (const WorkloadMix& mix : Mixes()) {
+    WorkloadOptions options;
+    options.mix = mix;
+    options.clients = clients;
+    options.ops_per_client = ops_per_client;
+    options.zipf_skew = zipf_skew;
+    options.seed = 11;
+    MixRow row;
+    row.name = mix.name;
+    row.clients = clients;
+    row.report = RunWorkload(&service, options);
+    // Saturation steps replay the full mix once per client count; halve the
+    // op budget so the search costs about one extra fixed run per step.
+    WorkloadOptions sat_options = options;
+    sat_options.ops_per_client = std::max(25, options.ops_per_client / 2);
+    row.saturation = SaturationSearch(&service, sat_options, max_clients);
+    PrintReport(row);
+    if (check) {
+      for (int i = 0; i < kNumWorkloadOps; ++i) {
+        const OpClassReport& c = row.report.per_op[i];
+        if (c.count == 0) continue;
+        const double p99 = c.latency.PercentileMs(0.99);
+        if (p99 > max_p99_ms) {
+          std::fprintf(stderr,
+                       "FAIL: mix %s op %s p99 %.1f ms exceeds the sanity "
+                       "bound %.1f ms\n",
+                       mix.name.c_str(),
+                       WorkloadOpName(static_cast<WorkloadOp>(i)), p99,
+                       max_p99_ms);
+          ok = false;
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  if (json_path != nullptr) {
+    WriteJson(json_path, n, g.num_edges(), shards, zipf_skew, rows);
+  }
+  if (check && ok) {
+    std::printf("check: differential + p99 sanity bounds passed\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -11,7 +11,6 @@ namespace hcore {
 namespace {
 
 VertexId Scaled(VertexId n, double scale) {
-  HCORE_CHECK(scale > 0.0 && scale <= 1.0);
   return std::max<VertexId>(8, static_cast<VertexId>(std::lround(n * scale)));
 }
 
@@ -32,6 +31,12 @@ bool IsKnownDataset(const std::string& name) {
 }
 
 Dataset LoadDataset(const std::string& name, double scale) {
+  // Validate once at the entry point, with a message a bench/CLI user can
+  // act on (the per-family Scaled() helpers trust it from here). Both ends
+  // matter: 0 or a negative scale would round every family to the clamp
+  // floor, and > 1 silently extrapolates a graph the paper never measured.
+  HCORE_CHECK(scale > 0.0 && scale <= 1.0 &&
+              "LoadDataset: scale must be in (0, 1]");
   Dataset out;
   out.name = name;
   // Every dataset has its own fixed seed so graphs are independent yet

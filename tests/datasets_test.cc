@@ -33,6 +33,22 @@ TEST(Datasets, ScaleShrinksVertexCount) {
   EXPECT_GT(big.graph.num_vertices(), small.graph.num_vertices());
 }
 
+TEST(Datasets, TinyScaleClampsToNonEmptyGraph) {
+  // A scale that rounds every family to ~zero vertices must still yield a
+  // usable graph (the clamp floor), never an empty one.
+  for (const std::string& name : {std::string("coli"), std::string("lj")}) {
+    Dataset d = LoadDataset(name, 1e-9);
+    EXPECT_GE(d.graph.num_vertices(), 1u) << name;
+    EXPECT_GT(d.graph.num_edges(), 0u) << name;
+  }
+}
+
+TEST(DatasetsDeathTest, RejectsOutOfRangeScale) {
+  EXPECT_DEATH(LoadDataset("coli", 0.0), "scale must be in \\(0, 1\\]");
+  EXPECT_DEATH(LoadDataset("coli", -0.5), "scale must be in \\(0, 1\\]");
+  EXPECT_DEATH(LoadDataset("coli", 1.5), "scale must be in \\(0, 1\\]");
+}
+
 TEST(Datasets, SmallBioGraphsAtPaperScale) {
   Dataset coli = LoadDataset("coli");
   EXPECT_EQ(coli.graph.num_vertices(), 328u);
