@@ -1,16 +1,26 @@
-// Immutable undirected graph in CSR (compressed sparse row) form, plus a
-// mutable builder.
+// Immutable undirected graph in paged CSR (compressed sparse row) form,
+// plus a mutable builder.
 //
 // All algorithms in hcore operate on this representation. Vertices are dense
 // ids in [0, num_vertices()); edges are stored twice (once per endpoint) with
 // each adjacency list sorted ascending. Self-loops and parallel edges are
 // removed by the builder, matching the paper's setting of simple, undirected,
 // unweighted graphs.
+//
+// Storage is split into fixed vertex-range pages (kPageVertices vertices
+// each), every page a self-contained mini-CSR held by shared_ptr. WithEdits
+// rebuilds only the pages whose adjacency runs changed and shares the rest
+// by pointer, so a small batch costs O(touched pages) and a graph copy costs
+// O(pages) pointer bumps — the copy-on-write substrate the epoch-snapshot
+// index and the sharded serving tier build on. Adjacency stays contiguous
+// inside a page, so neighbors(v) still hands out a plain span and every
+// consumer above this layer is representation-agnostic.
 
 #ifndef HCORE_GRAPH_GRAPH_H_
 #define HCORE_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -43,35 +53,69 @@ struct EdgeEditSummary {
   size_t applied() const { return inserts + deletes; }
 };
 
-/// Immutable simple undirected graph (CSR).
+/// One fixed vertex-range page of the CSR: a self-contained mini-CSR for a
+/// run of kPageVertices vertices (the last page may be shorter). `offsets`
+/// has size+1 entries and is page-local (offsets[0] == 0); `targets` holds
+/// the concatenated sorted adjacency of the page's vertices.
+///
+/// Pages are immutable once published: they are only ever reachable through
+/// `shared_ptr<const AdjacencyPage>` handles that snapshots and epochs share
+/// freely across threads, so the type exposes no mutating methods — builders
+/// fill the two vectors before the page is wrapped in its const handle
+/// (enforced by tools/lint_invariants.py, rule `page-buffer`).
+struct AdjacencyPage {
+  std::vector<EdgeIndex> offsets;
+  std::vector<VertexId> targets;
+};
+
+/// Point-in-time memory footprint of one Graph plus cumulative page-reuse
+/// counters an epoch publisher can accumulate across WithEdits transitions.
+struct GraphMemoryStats {
+  uint64_t resident_bytes = 0;  // page buffer bytes of the current graph
+  uint64_t graph_pages = 0;     // page count of the current graph
+  uint64_t pages_shared = 0;    // cumulative: pages successor epochs shared
+  uint64_t pages_copied = 0;    // cumulative: pages successor epochs rebuilt
+};
+
+/// Immutable simple undirected graph (paged CSR).
 class Graph {
  public:
-  /// Empty graph.
-  Graph() : offsets_(1, 0) {}
+  /// Vertices per page. 2^10 vertices keeps a page's offset array at 8KiB
+  /// (one L1's worth) while an average adjacency page on the serving
+  /// substrates runs tens to a few hundred KiB — big enough that sharing
+  /// amortizes the per-page shared_ptr, small enough that one edit's
+  /// copy-on-write rebuild stays microseconds.
+  static constexpr int kPageVertexBits = 10;
+  static constexpr VertexId kPageVertices = VertexId{1} << kPageVertexBits;
 
-  /// Builds directly from CSR arrays. `offsets` has n+1 entries;
-  /// `neighbors[offsets[v] .. offsets[v+1])` lists v's neighbors.
-  Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors);
+  /// Empty graph.
+  Graph() = default;
+
+  /// Builds from monolithic CSR arrays, paginating them. `offsets` has n+1
+  /// entries; `neighbors[offsets[v] .. offsets[v+1])` lists v's neighbors.
+  Graph(const std::vector<EdgeIndex>& offsets,
+        const std::vector<VertexId>& neighbors);
 
   /// Number of vertices.
-  VertexId num_vertices() const {
-    return static_cast<VertexId>(offsets_.size() - 1);
-  }
+  VertexId num_vertices() const { return num_vertices_; }
 
   /// Number of undirected edges (each counted once).
-  uint64_t num_edges() const { return neighbors_.size() / 2; }
+  uint64_t num_edges() const { return num_targets_ / 2; }
 
   /// Degree of `v`.
   uint32_t degree(VertexId v) const {
     HCORE_DCHECK(v < num_vertices());
-    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+    const PageView& pv = views_[v >> kPageVertexBits];
+    const VertexId i = v & (kPageVertices - 1);
+    return static_cast<uint32_t>(pv.offsets[i + 1] - pv.offsets[i]);
   }
 
-  /// Sorted neighbor list of `v`.
+  /// Sorted neighbor list of `v` (contiguous within v's page).
   std::span<const VertexId> neighbors(VertexId v) const {
     HCORE_DCHECK(v < num_vertices());
-    return {neighbors_.data() + offsets_[v],
-            neighbors_.data() + offsets_[v + 1]};
+    const PageView& pv = views_[v >> kPageVertexBits];
+    const VertexId i = v & (kPageVertices - 1);
+    return {pv.targets + pv.offsets[i], pv.targets + pv.offsets[i + 1]};
   }
 
   /// True if edge {u, v} exists (binary search, O(log deg)).
@@ -95,11 +139,12 @@ class Graph {
   /// same permutation. O(n + m), adjacency lists stay sorted.
   Graph Relabeled(const std::vector<VertexId>& new_to_old) const;
 
-  /// Applies a batch of edge edits in ONE pass over the CSR arrays and
-  /// returns the resulting graph. Untouched adjacency lists are copied
-  /// through in contiguous runs; each touched list is spliced by a sorted
-  /// merge (O(deg) per touched vertex) — no per-edge re-sort, no global
-  /// rebuild. Semantics:
+  /// Applies a batch of edge edits and returns the resulting graph. The
+  /// batch is canonicalized (see CanonicalEffectiveEdits) and then applied
+  /// copy-on-write: only pages holding a touched adjacency list (or whose
+  /// vertex range grows) are rebuilt — by a sorted splice-merge, O(page
+  /// edges) each — and every other page is shared by pointer with this
+  /// graph. Semantics of the batch:
   ///   * for each edge, the LAST edit in the span wins; superseded edits
   ///     have no effect at all (in particular, a cancelled out-of-range
   ///     insert does not grow the vertex set);
@@ -115,13 +160,20 @@ class Graph {
                   EdgeEditSummary* summary = nullptr,
                   std::vector<EdgeEdit>* effective = nullptr) const;
 
-  /// The canonicalization half of WithEdits without the CSR splice: filters
-  /// and deduplicates `edits` against this graph (same semantics as above)
-  /// and returns the effective edits in canonical form (u < v, last edit of
-  /// an edge wins, no-ops dropped). O(|edits| log |edits|) plus one edge
-  /// probe per surviving edit — used where a consumer needs the effective
-  /// batch but another component owns the rebuild (e.g. the sharded serving
-  /// tier's cut-edge splice).
+  /// The delta-apply half of WithEdits: `canonical` MUST be the exact
+  /// output of CanonicalEffectiveEdits against this graph (canonical order,
+  /// deduplicated, no no-ops). Callers that canonicalize once and fan the
+  /// batch out — the sharded tier's write path — use this to skip the
+  /// redundant re-canonicalization per consumer.
+  Graph ApplyCanonicalEdits(std::span<const EdgeEdit> canonical) const;
+
+  /// The canonicalization half of WithEdits without the page splice:
+  /// filters and deduplicates `edits` against this graph (same semantics as
+  /// above) and returns the effective edits in canonical form (u < v, last
+  /// edit of an edge wins, no-ops dropped). O(|edits| log |edits|) plus one
+  /// edge probe per surviving edit — used where a consumer needs the
+  /// effective batch but another component owns the rebuild (e.g. the
+  /// sharded serving tier's cut-edge splice).
   std::vector<EdgeEdit> CanonicalEffectiveEdits(
       std::span<const EdgeEdit> edits,
       EdgeEditSummary* summary = nullptr) const;
@@ -129,13 +181,48 @@ class Graph {
   /// All edges as (u, v) pairs with u < v.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
 
-  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
-  const std::vector<VertexId>& neighbor_array() const { return neighbors_; }
+  /// Materialized monolithic CSR arrays (for differential tests and
+  /// serialization — O(n + m), not a view).
+  std::vector<EdgeIndex> FlattenedOffsets() const;
+  std::vector<VertexId> FlattenedNeighbors() const;
+
+  /// Number of storage pages (== ceil(num_vertices / kPageVertices)).
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Stable identity of page `p`'s buffer: two graphs return the same
+  /// pointer for a page index iff they share that page's storage.
+  const void* PageIdentity(size_t p) const {
+    HCORE_DCHECK(p < pages_.size());
+    return pages_[p].get();
+  }
+
+  /// Heap bytes held by this graph's page buffers (counting each shared
+  /// page once from this graph's perspective).
+  uint64_t MemoryBytes() const;
 
  private:
-  std::vector<EdgeIndex> offsets_;
-  std::vector<VertexId> neighbors_;
+  // Raw per-page view cached for the hot path: one indirection instead of a
+  // shared_ptr chase per access. Entries point into page storage owned by
+  // `pages_` (stable under copy/move), never into the vectors themselves.
+  struct PageView {
+    const EdgeIndex* offsets = nullptr;
+    const VertexId* targets = nullptr;
+  };
+
+  Graph(VertexId num_vertices, uint64_t num_targets,
+        std::vector<std::shared_ptr<const AdjacencyPage>> pages);
+
+  void RebuildViews();
+
+  VertexId num_vertices_ = 0;
+  uint64_t num_targets_ = 0;  // directed half-edges across all pages
+  std::vector<std::shared_ptr<const AdjacencyPage>> pages_;
+  std::vector<PageView> views_;
 };
+
+/// Pages the two graphs share by pointer identity at the same page index
+/// (compared over the common prefix of their page lists).
+size_t CountSharedPages(const Graph& a, const Graph& b);
 
 /// Accumulates edges and produces a normalized (simple, sorted) Graph.
 class GraphBuilder {

@@ -36,6 +36,7 @@ void HCoreIndexStats::Add(const HCoreIndexStats& other) {
   csr_rebuilds += other.csr_rebuilds;
   batches_applied += other.batches_applied;
   edits_applied += other.edits_applied;
+  adoptions += other.adoptions;
   level_decompositions += other.level_decompositions;
   levels_unchanged += other.levels_unchanged;
   localized_updates += other.localized_updates;
@@ -209,6 +210,21 @@ HCoreIndex::HCoreIndex(Graph g, const HCoreIndexOptions& options)
                                 /*epoch=*/0));
 }
 
+HCoreIndex::HCoreIndex(std::shared_ptr<const HCoreSnapshot> donor,
+                       const HCoreIndexOptions& options)
+    : options_(options), updater_(options.base.num_threads) {
+  HCORE_CHECK(donor != nullptr);
+  HCORE_CHECK(options_.max_h == donor->max_h());
+  HCORE_CHECK(options_.base.extra_lower_bound == nullptr);
+  HCORE_CHECK(options_.base.extra_upper_bound == nullptr);
+  // Share the donor's graph pages and level vectors; own the lazy caches
+  // (fresh HCoreSnapshot object, same shared artifacts).
+  std::shared_ptr<const HCoreSnapshot> snap(
+      new HCoreSnapshot(donor->graph_, donor->levels_, donor->epoch()));
+  MutexLock lock(mu_);
+  snap_ = std::move(snap);
+}
+
 std::shared_ptr<const HCoreSnapshot> HCoreIndex::snapshot() const {
   MutexLock lock(mu_);
   return snap_;
@@ -219,13 +235,25 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
     bool pure_delete, std::span<const EdgeEdit> effective,
     HCoreIndexStats* stats) {
   const VertexId n = g.num_vertices();
-  // Localized maintenance applies to pure batches small enough for a joint
+  // Localized maintenance applies to batches small enough for a joint
   // candidate region (core/incremental.h); each level falls back to the
-  // whole-graph warm start independently when its region overflows.
+  // whole-graph warm start independently when its region overflows. Pure
+  // batches run the matching single pass; MIXED batches chain the delete
+  // cascade and the insert region re-peel through the intermediate graph
+  // (prev + deletes) — canonical effective edits are per-edge disjoint, so
+  // the sequential composition equals the joint batch.
   const bool try_localized =
-      prev != nullptr && (pure_insert != pure_delete) &&
-      options_.localized.enable && !effective.empty() &&
+      prev != nullptr && options_.localized.enable && !effective.empty() &&
       effective.size() <= options_.localized.max_batch;
+  const bool mixed = !pure_insert && !pure_delete;
+  Graph g_mid;  // mixed-chain intermediate: prev graph with deletes applied
+  std::vector<EdgeEdit> chain_deletes, chain_inserts;
+  if (try_localized && mixed) {
+    for (const EdgeEdit& e : effective) {
+      (e.insert ? chain_inserts : chain_deletes).push_back(e);
+    }
+    g_mid = prev->graph().ApplyCanonicalEdits(chain_deletes);
+  }
   // Resolve the cache-locality relabeling ONCE per epoch — and lazily, on
   // the first level that actually re-peels the whole graph: every level
   // peels the same graph, so per-level resolution (and for kAuto, per-level
@@ -264,8 +292,30 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
     auto attempt = [&](LocalizedUpdater& updater, int h,
                        LocalizedOutcome& out) {
       out.core = *prev->levels_[h - 1].core;
-      out.ok = updater.UpdateLevel(prev->graph(), g, effective, pure_insert,
-                                   h, &out.core, options_.localized, &out.ls);
+      if (!mixed) {
+        out.ok = updater.UpdateLevel(prev->graph(), g, effective, pure_insert,
+                                     h, &out.core, options_.localized,
+                                     &out.ls);
+        return;
+      }
+      // Mixed chain: deletes against prev -> g_mid, then inserts against
+      // g_mid -> g; either phase overflowing rejects the whole attempt and
+      // the level falls back warm. Stats accumulate across both phases.
+      out.ok = updater.UpdateLevel(prev->graph(), g_mid, chain_deletes,
+                                   /*inserts=*/false, h, &out.core,
+                                   options_.localized, &out.ls);
+      if (!out.ok) return;
+      LocalizedUpdateStats insert_ls;
+      out.ok = updater.UpdateLevel(g_mid, g, chain_inserts, /*inserts=*/true,
+                                   h, &out.core, options_.localized,
+                                   &insert_ls);
+      out.ls.region += insert_ls.region;
+      out.ls.boundary += insert_ls.boundary;
+      out.ls.changed += insert_ls.changed;
+      out.ls.escalations += insert_ls.escalations;
+      out.ls.visited += insert_ls.visited;
+      out.ls.hdegree_computations += insert_ls.hdegree_computations;
+      out.ls.decrement_updates += insert_ls.decrement_updates;
     };
     const int fan =
         std::min(options_.max_h, std::max(1, options_.base.num_threads));
@@ -322,14 +372,22 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
       uint32_t degeneracy = 0;
       for (const uint32_t c : out.core) degeneracy = std::max(degeneracy, c);
       level.degeneracy = degeneracy;
-      if (out.ls.changed == 0 && out.core.size() == old_core->size()) {
+      std::shared_ptr<const std::vector<CoreDelta>> delta;
+      if (out.ls.changed != 0 || out.core.size() != old_core->size()) {
+        // The mixed chain can report phase-local changes that cancel out
+        // (demoted by the deletes, restored by the inserts), so the reuse
+        // decision rests on the exact diff, not the per-phase counter.
+        delta = DiffCores(*old_core, out.core);
+      }
+      if ((delta == nullptr || delta->empty()) &&
+          out.core.size() == old_core->size()) {
         // Dirty flag stayed clean: share the previous epoch's vector.
         level.core = prev->levels_[h - 1].core;
         level.reused = true;
         level.delta = EmptyDelta();
         if (stats != nullptr) ++stats->levels_unchanged;
       } else {
-        level.delta = DiffCores(*old_core, out.core);
+        level.delta = std::move(delta);
         level.core = std::make_shared<const std::vector<uint32_t>>(
             std::move(out.core));
       }
@@ -401,13 +459,29 @@ std::vector<HCoreSnapshot::Level> HCoreIndex::DecomposeAll(
 size_t HCoreIndex::ApplyBatch(std::span<const EdgeEdit> edits) {
   MutexLock writer(update_mu_);
   std::shared_ptr<const HCoreSnapshot> prev = snapshot();
-
-  // The ONE CSR rebuild for the whole batch. The effective edits feed the
-  // per-level localized maintenance below.
   EdgeEditSummary summary;
-  std::vector<EdgeEdit> effective;
-  Graph next = prev->graph().WithEdits(edits, &summary, &effective);
-  if (summary.applied() == 0) return 0;
+  std::vector<EdgeEdit> effective =
+      prev->graph().CanonicalEffectiveEdits(edits, &summary);
+  if (effective.empty()) return 0;
+  ApplyPreparedLocked(prev, effective, summary);
+  return summary.applied();
+}
+
+std::shared_ptr<const HCoreSnapshot> HCoreIndex::ApplyPrepared(
+    std::span<const EdgeEdit> effective, const EdgeEditSummary& summary) {
+  MutexLock writer(update_mu_);
+  return ApplyPreparedLocked(snapshot(), effective, summary);
+}
+
+std::shared_ptr<const HCoreSnapshot> HCoreIndex::ApplyPreparedLocked(
+    const std::shared_ptr<const HCoreSnapshot>& prev,
+    std::span<const EdgeEdit> effective, const EdgeEditSummary& summary) {
+  HCORE_CHECK(!effective.empty());
+  HCORE_CHECK(summary.applied() == effective.size());
+
+  // The ONE copy-on-write page splice for the whole batch: untouched pages
+  // are shared with the previous epoch's graph, touched ones rebuilt.
+  Graph next = prev->graph().ApplyCanonicalEdits(effective);
 
   // Purity is judged on the EFFECTIVE edits: a no-op edit of the opposite
   // kind (e.g. deleting an absent edge) must not disable the warm start.
@@ -425,9 +499,27 @@ size_t HCoreIndex::ApplyBatch(std::span<const EdgeEdit> edits) {
       std::move(graph), std::move(levels), prev->epoch() + 1));
 
   MutexLock lock(mu_);
-  snap_ = std::move(snap);
+  snap_ = snap;
   stats_.Add(delta);
-  return summary.applied();
+  return snap;
+}
+
+std::shared_ptr<const HCoreSnapshot> HCoreIndex::AdoptPrepared(
+    const std::shared_ptr<const HCoreSnapshot>& donor, size_t routed_edits) {
+  MutexLock writer(update_mu_);
+  std::shared_ptr<const HCoreSnapshot> prev = snapshot();
+  HCORE_CHECK(donor != nullptr);
+  HCORE_CHECK(donor->max_h() == options_.max_h);
+  // Adoption keeps epochs in lockstep with the donor lineage.
+  HCORE_CHECK(donor->epoch() == prev->epoch() + 1);
+  std::shared_ptr<const HCoreSnapshot> snap(
+      new HCoreSnapshot(donor->graph_, donor->levels_, donor->epoch()));
+  MutexLock lock(mu_);
+  snap_ = snap;
+  ++stats_.batches_applied;
+  ++stats_.adoptions;
+  stats_.edits_applied += routed_edits;
+  return snap;
 }
 
 bool HCoreIndex::InsertEdge(VertexId u, VertexId v) {

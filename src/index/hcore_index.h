@@ -74,12 +74,17 @@ struct HCoreIndexOptions {
 /// Cumulative cost counters for one index (Table-3-style: serving queries
 /// must leave `decomposition` flat; only Build/ApplyBatch may move it).
 struct HCoreIndexStats {
-  /// CSR rebuilds performed — exactly one per effective ApplyBatch.
+  /// CSR rebuilds performed — exactly one per effective ApplyBatch or
+  /// ApplyPrepared (adoptions rebuild nothing).
   uint64_t csr_rebuilds = 0;
-  /// Batches that applied at least one edit.
+  /// Batches that applied at least one edit (adopted epochs included).
   uint64_t batches_applied = 0;
-  /// Individual edge edits that had an effect.
+  /// Individual edge edits that had an effect. An adopting index counts the
+  /// routed owned-incident share it was handed, not the whole batch.
   uint64_t edits_applied = 0;
+  /// Epochs published by AdoptPrepared — sharing a donor's artifacts
+  /// instead of recomputing them.
+  uint64_t adoptions = 0;
   /// Whole-graph per-level decompositions run (initial build and fallback
   /// levels of ApplyBatch).
   uint64_t level_decompositions = 0;
@@ -218,23 +223,55 @@ class HCoreIndex {
   /// and publishes epoch 0.
   explicit HCoreIndex(Graph g, const HCoreIndexOptions& options = {});
 
+  /// Adopting constructor: publishes `donor` as this index's first epoch
+  /// WITHOUT decomposing — the graph (COW pages and all) and every
+  /// per-level core/delta vector are shared by pointer; only the lazy
+  /// artifact caches (hierarchy, density) are fresh, so the new index keeps
+  /// its own reader lock domain. This is how the sharded tier builds
+  /// replica shards in O(levels) instead of O(n + m) each.
+  HCoreIndex(std::shared_ptr<const HCoreSnapshot> donor,
+             const HCoreIndexOptions& options);
+
   int max_h() const { return options_.max_h; }
 
   /// The current epoch. Cheap (one pointer copy under a mutex); the caller
   /// keeps the snapshot alive independently of future updates.
   std::shared_ptr<const HCoreSnapshot> snapshot() const EXCLUDES(mu_);
 
-  /// Applies a batch of edge edits: ONE CSR rebuild via Graph::WithEdits,
-  /// then per level either a LOCALIZED region re-peel (pure batches up to
-  /// options.localized.max_batch effective edits whose candidate region
-  /// fits the cap — see core/incremental.h) or a warm-started whole-graph
-  /// re-decomposition — pure-insert batches reuse old cores as lower
-  /// bounds, pure-delete batches as upper bounds, mixed batches fall back
-  /// to the spectrum chain only. The localized_updates / fallback_repeels
-  /// stats record which path served each level. Publishes a new epoch
-  /// unless every edit was a no-op. Returns the number of edits that had an
-  /// effect. Thread-safe; concurrent readers are never blocked.
+  /// Applies a batch of edge edits: ONE copy-on-write page splice via
+  /// Graph::WithEdits (O(touched pages)), then per level either a LOCALIZED
+  /// repair (batches up to options.localized.max_batch effective edits
+  /// whose candidate region fits the cap — see core/incremental.h; pure
+  /// batches run one region pass, mixed batches chain the delete cascade
+  /// and the insert region re-peel through the intermediate graph) or a
+  /// warm-started whole-graph re-decomposition — pure-insert batches reuse
+  /// old cores as lower bounds, pure-delete batches as upper bounds, mixed
+  /// batches fall back to the spectrum chain only. The localized_updates /
+  /// fallback_repeels stats record which path served each level. Publishes
+  /// a new epoch unless every edit was a no-op. Returns the number of edits
+  /// that had an effect. Thread-safe; concurrent readers are never blocked.
   size_t ApplyBatch(std::span<const EdgeEdit> edits)
+      EXCLUDES(update_mu_, mu_);
+
+  /// The fan-out half of ApplyBatch for callers that canonicalized once:
+  /// `effective` MUST be the exact CanonicalEffectiveEdits output against
+  /// this index's current graph, with `summary` its per-kind counts, and
+  /// must be non-empty. Skips re-canonicalization, applies the page splice
+  /// and per-level repair, publishes, and returns the new snapshot — the
+  /// donor the sharded tier hands to its replicas' AdoptPrepared.
+  std::shared_ptr<const HCoreSnapshot> ApplyPrepared(
+      std::span<const EdgeEdit> effective, const EdgeEditSummary& summary)
+      EXCLUDES(update_mu_, mu_);
+
+  /// Publishes an epoch that shares `donor`'s graph pages and per-level
+  /// core/delta vectors outright (fresh lazy caches, own epoch counter in
+  /// lockstep with the donor's). No graph work, no decomposition — the
+  /// replica side of the tier's prepare-once write path. `routed_edits` is
+  /// the shard's owned-incident share of the batch, recorded in
+  /// edits_applied for per-shard write telemetry. Returns the published
+  /// snapshot.
+  std::shared_ptr<const HCoreSnapshot> AdoptPrepared(
+      const std::shared_ptr<const HCoreSnapshot>& donor, size_t routed_edits)
       EXCLUDES(update_mu_, mu_);
 
   /// Single-edit conveniences (each is a batch of one).
@@ -250,6 +287,11 @@ class HCoreIndex {
   void ResetStats() EXCLUDES(mu_);
 
  private:
+  std::shared_ptr<const HCoreSnapshot> ApplyPreparedLocked(
+      const std::shared_ptr<const HCoreSnapshot>& prev,
+      std::span<const EdgeEdit> effective, const EdgeEditSummary& summary)
+      REQUIRES(update_mu_) EXCLUDES(mu_);
+
   std::vector<HCoreSnapshot::Level> DecomposeAll(
       const Graph& g, const HCoreSnapshot* prev, bool pure_insert,
       bool pure_delete, std::span<const EdgeEdit> effective,

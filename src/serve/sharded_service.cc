@@ -640,15 +640,13 @@ ShardedHCoreService::ShardedHCoreService(Graph g,
 
   std::vector<CutEdge> cut = ExtractCutEdges(g, partition_);
   shards_.resize(options_.num_shards);
-  {
-    // Replica construction fans out: each task copies the graph and runs
-    // the full initial decomposition for its shard.
-    TaskGroup group(pool_.get());
-    for (int s = 0; s < options_.num_shards; ++s) {
-      group.Run([this, s, &g] {
-        shards_[s] = std::make_unique<HCoreIndex>(Graph(g), options_.index);
-      });
-    }
+  // Prepare once, adopt everywhere: the primary shard runs the one initial
+  // decomposition; every other shard adopts its snapshot — shared graph
+  // pages and core vectors, fresh per-shard lazy caches and lock domains.
+  shards_[0] = std::make_unique<HCoreIndex>(std::move(g), options_.index);
+  const std::shared_ptr<const HCoreSnapshot> donor = shards_[0]->snapshot();
+  for (int s = 1; s < options_.num_shards; ++s) {
+    shards_[s] = std::make_unique<HCoreIndex>(donor, options_.index);
   }
   std::vector<std::shared_ptr<const HCoreSnapshot>> snaps;
   snaps.reserve(shards_.size());
@@ -667,24 +665,41 @@ std::shared_ptr<const ShardedServiceView> ShardedHCoreService::view() const {
 }
 
 size_t ShardedHCoreService::ApplyBatch(std::span<const EdgeEdit> edits) {
+  if (options_.group_commit) return GroupCommit(edits);
   MutexLock writer(update_mu_);
   std::shared_ptr<const ShardedServiceView> prev = view();
 
-  // Canonicalize ONCE at the front door; every shard then applies the same
-  // effective batch, and the same list drives the cut-edge splice.
+  // Canonicalize ONCE at the front door; the effective list drives the
+  // primary's page splice, the owned-edit routing, and the cut-edge splice.
+  EdgeEditSummary summary;
   std::vector<EdgeEdit> effective =
-      prev->graph().CanonicalEffectiveEdits(edits);
+      prev->graph().CanonicalEffectiveEdits(edits, &summary);
   if (effective.empty()) return 0;
+  ApplyEffectiveLocked(prev, effective, summary);
+  return effective.size();
+}
 
-  {
-    TaskGroup group(pool_.get());
-    for (const auto& shard : shards_) {
-      group.Run([&shard, &effective] {
-        const size_t applied = shard->ApplyBatch(effective);
-        // Replicas apply identical effective edits to identical graphs.
-        HCORE_CHECK(applied == effective.size());
-      });
-    }
+void ShardedHCoreService::ApplyEffectiveLocked(
+    const std::shared_ptr<const ShardedServiceView>& prev,
+    std::span<const EdgeEdit> effective, const EdgeEditSummary& summary) {
+  // Owned-edit routing, computed once from the canonical batch + the vertex
+  // partition: shard s's share is the edits incident to its owned vertices'
+  // adjacency. The primary applies the whole batch (core repair is a global
+  // fixpoint); the routed counts feed per-shard write telemetry.
+  std::vector<size_t> routed(shards_.size(), 0);
+  for (const EdgeEdit& e : effective) {
+    const uint32_t su = partition_.ShardOf(e.u);
+    const uint32_t sv = partition_.ShardOf(e.v);
+    ++routed[su];
+    if (sv != su) ++routed[sv];
+  }
+
+  // Prepare once, adopt everywhere: ONE page splice + per-level repair on
+  // the primary, then O(levels) pointer adoption per replica.
+  const std::shared_ptr<const HCoreSnapshot> donor =
+      shards_[0]->ApplyPrepared(effective, summary);
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    shards_[s]->AdoptPrepared(donor, routed[s]);
   }
 
   std::vector<CutEdge> cut = prev->cut_edges();
@@ -705,9 +720,74 @@ size_t ShardedHCoreService::ApplyBatch(std::span<const EdgeEdit> edits) {
                   options_.hot_premerge, &carry);
   AccumulateGather(carry);
 
+  // Copy-on-write accounting: what this epoch's graph shared vs rebuilt of
+  // its predecessor's pages.
+  const size_t shared_pages = CountSharedPages(prev->graph(), next->graph());
+  const size_t copied_pages = next->graph().num_pages() - shared_pages;
+
   MutexLock lock(mu_);
   view_ = std::move(next);
-  return effective.size();
+  memory_.pages_shared += shared_pages;
+  memory_.pages_copied += copied_pages;
+}
+
+size_t ShardedHCoreService::GroupCommit(std::span<const EdgeEdit> edits) {
+  PendingWrite req;
+  req.edits = edits;
+  std::vector<PendingWrite*> group;
+  {
+    MutexLock lock(commit_mu_);
+    commit_queue_.push_back(&req);
+    for (;;) {
+      if (req.done) return req.applied;  // a leader carried this write
+      if (!commit_leader_) break;        // become the leader
+      commit_cv_.Wait(lock);
+    }
+    commit_leader_ = true;
+    group = std::move(commit_queue_);
+    commit_queue_.clear();
+  }
+  CommitGroup(group);
+  {
+    MutexLock lock(commit_mu_);
+    for (PendingWrite* w : group) w->done = true;
+    commit_leader_ = false;
+  }
+  // Wake coalesced members AND any writer that queued during the commit —
+  // the latter sees the leader flag clear and elects itself.
+  commit_cv_.NotifyAll();
+  return req.applied;
+}
+
+void ShardedHCoreService::CommitGroup(std::span<PendingWrite* const> group) {
+  MutexLock writer(update_mu_);
+  std::shared_ptr<const ShardedServiceView> prev = view();
+
+  // Concatenate in arrival order: canonicalization's last-edit-wins then
+  // composes across writers exactly as if they had serialized.
+  std::vector<EdgeEdit> combined;
+  size_t total = 0;
+  for (const PendingWrite* w : group) total += w->edits.size();
+  combined.reserve(total);
+  for (const PendingWrite* w : group) {
+    combined.insert(combined.end(), w->edits.begin(), w->edits.end());
+  }
+  EdgeEditSummary summary;
+  std::vector<EdgeEdit> effective =
+      prev->graph().CanonicalEffectiveEdits(combined, &summary);
+  if (!effective.empty()) ApplyEffectiveLocked(prev, effective, summary);
+
+  // Attribution: each effective edit belongs to the writer holding the LAST
+  // edit of that edge in arrival order (the one canonicalization kept).
+  std::map<std::pair<VertexId, VertexId>, size_t> last_writer;
+  for (size_t i = 0; i < group.size(); ++i) {
+    for (const EdgeEdit& e : group[i]->edits) {
+      last_writer[std::minmax(e.u, e.v)] = i;
+    }
+  }
+  for (const EdgeEdit& e : effective) {
+    ++group[last_writer.at({e.u, e.v})]->applied;
+  }
 }
 
 std::vector<VertexId> ShardedHCoreService::CoreComponentOf(VertexId v,
@@ -737,8 +817,14 @@ ShardedServiceStats ShardedHCoreService::stats() const {
   ShardedServiceStats out;
   out.shard.reserve(shards_.size());
   for (const auto& shard : shards_) out.shard.push_back(shard->stats());
+  const std::shared_ptr<const ShardedServiceView> v = view();
   MutexLock lock(mu_);
   out.gather = gather_;
+  out.memory = memory_;
+  // Point-in-time footprint of the current epoch's graph — ONE graph,
+  // shared by every shard's snapshot.
+  out.memory.resident_bytes = v->graph().MemoryBytes();
+  out.memory.graph_pages = v->graph().num_pages();
   return out;
 }
 
@@ -746,6 +832,7 @@ void ShardedHCoreService::ResetStats() {
   for (const auto& shard : shards_) shard->ResetStats();
   MutexLock lock(mu_);
   gather_ = ScatterGatherStats{};
+  memory_ = GraphMemoryStats{};
 }
 
 }  // namespace hcore

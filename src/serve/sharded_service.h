@@ -53,17 +53,33 @@
 // PRE-MERGED at publish time so steady-state readers of a mutating graph
 // never pay a gather at all.
 //
-// Storage model (deliberate, documented): each shard's HCoreIndex holds a
-// full replica of the graph. Exact (k,h)-cores are a global fixpoint — a
-// vertex's core index can depend on edges arbitrarily far away — so a shard
-// serving exact point answers for its owned vertices must see the whole
-// graph; partitioned storage with exact per-shard recomputation (pinned-
-// boundary fixpoints across shards) is the open research item in ROADMAP.md.
-// The tier therefore shards SERVING state (snapshots, lazy artifacts, lock
-// domains, update work) while replicating the CSR: reads scale with shards,
-// writes cost one localized/warm maintenance pass per shard (run
-// concurrently on the pool). With 1 shard the tier degenerates to exactly
-// one HCoreIndex plus an empty cut set.
+// Storage model (deliberate, documented): every shard sees the WHOLE graph
+// — exact (k,h)-cores are a global fixpoint (a vertex's core index can
+// depend on edges arbitrarily far away), so a shard serving exact point
+// answers for its owned vertices cannot get by on a partition of the edges;
+// true partitioned storage with pinned-boundary fixpoints across shards is
+// the open research item in ROADMAP.md. What the shards do NOT do anymore
+// is replicate the bytes or the update work: the graph is a paged
+// copy-on-write CSR (graph/graph.h), so all shards share one set of
+// adjacency pages and one set of per-level core vectors by pointer. The
+// tier's write path is PREPARE ONCE, ADOPT EVERYWHERE — ApplyBatch
+// canonicalizes the batch once, a primary shard runs the page splice
+// (O(touched pages)) and the per-level repair once, and every other shard
+// adopts the resulting snapshot (HCoreIndex::AdoptPrepared: O(levels)
+// pointer copies, fresh lazy caches). The owned-incident share of the batch
+// is routed to each shard's write telemetry (computed once from the
+// canonical batch + VertexPartition). So the tier shards SERVING state
+// (snapshots, lazy artifacts, lock domains) while sharing storage: reads
+// scale with shards, a write costs one maintenance pass total instead of
+// one per shard, and tier memory is one graph instead of N. With 1 shard
+// the tier degenerates to exactly one HCoreIndex plus an empty cut set.
+//
+// Group commit (ShardedServiceOptions::group_commit): concurrent writers
+// coalesce into one epoch — while a leader runs the write path, later
+// ApplyBatch callers enqueue their edits and block; the next leader drains
+// the queue, applies the concatenated batch (arrival order preserved, so
+// last-edit-wins semantics hold across writers) under update_mu_, and wakes
+// every coalesced writer with its own attributed effective-edit count.
 
 #ifndef HCORE_SERVE_SHARDED_SERVICE_H_
 #define HCORE_SERVE_SHARDED_SERVICE_H_
@@ -112,6 +128,11 @@ struct ShardedServiceOptions {
   /// Pre-merge up to this many of the hottest (h, k) keys at publish time
   /// (keys with a decayed hit count of zero never qualify). 0 disables.
   size_t hot_premerge = 8;
+  /// Coalesce concurrent ApplyBatch callers into one epoch (see the group
+  /// commit note above). Off, writers simply serialize on update_mu_, one
+  /// epoch each — the right setting for single-writer deployments and for
+  /// tests that count epochs per batch.
+  bool group_commit = false;
 };
 
 /// Gather-side work counters for the scatter-gather protocol.
@@ -153,6 +174,11 @@ struct ScatterGatherStats {
 struct ShardedServiceStats {
   std::vector<HCoreIndexStats> shard;
   ScatterGatherStats gather;
+  /// Graph storage accounting: resident_bytes/graph_pages describe the
+  /// CURRENT epoch's paged CSR (shared by every shard — counted once, not
+  /// per shard); pages_shared/pages_copied accumulate what each published
+  /// epoch reused vs rebuilt of its predecessor's pages.
+  GraphMemoryStats memory;
 
   /// Sum of the per-shard index counters.
   HCoreIndexStats AggregateShards() const;
@@ -351,8 +377,10 @@ class ShardedServiceView {
 /// writers serialize among themselves and never block readers.
 class ShardedHCoreService {
  public:
-  /// Builds `options.num_shards` HCoreIndex shards over `g` (replicas,
-  /// constructed concurrently on the tier pool) and publishes epoch 0.
+  /// Builds the shards over `g` and publishes epoch 0: one primary shard
+  /// runs the initial decomposition, every other shard adopts its snapshot
+  /// (shared pages and core vectors, fresh lazy caches) — construction and
+  /// memory cost one decomposition and one graph, not N.
   explicit ShardedHCoreService(Graph g,
                                const ShardedServiceOptions& options = {});
 
@@ -363,14 +391,18 @@ class ShardedHCoreService {
   std::shared_ptr<const ShardedServiceView> view() const EXCLUDES(mu_);
 
   /// Applies one edit batch tier-wide: canonicalizes the batch against the
-  /// current epoch, fans the application out over every shard on the pool,
-  /// splices the cut-edge set, runs the incremental merge maintenance
-  /// (CarryFrom) on the successor view, and atomically publishes the next
-  /// epoch vector. Returns the number of effective edits (0 publishes
-  /// nothing). Readers holding older views are never blocked and never see
-  /// a partial batch.
+  /// current epoch ONCE, routes each shard its owned-incident share for
+  /// telemetry, has the primary shard apply the copy-on-write page splice
+  /// plus per-level repair (HCoreIndex::ApplyPrepared), adopts the
+  /// resulting snapshot into every other shard, splices the cut-edge set,
+  /// runs the incremental merge maintenance (CarryFrom) on the successor
+  /// view, and atomically publishes the next epoch vector. Returns the
+  /// number of effective edits from THIS call's batch (0 publishes
+  /// nothing); under group_commit the call may block while a leader applies
+  /// a coalesced epoch containing it. Readers holding older views are never
+  /// blocked and never see a partial batch.
   size_t ApplyBatch(std::span<const EdgeEdit> edits)
-      EXCLUDES(update_mu_, mu_);
+      EXCLUDES(commit_mu_, update_mu_, mu_);
 
   /// Convenience wrappers over the current view; the scatter-gather ones
   /// accumulate protocol counters into stats().
@@ -387,18 +419,52 @@ class ShardedHCoreService {
   void ResetStats() EXCLUDES(mu_);
 
  private:
+  /// One queued write under group commit. `applied`/`edits` are owned by
+  /// the enqueuing writer and touched by the leader only between enqueue
+  /// and the done handoff under commit_mu_, which orders the accesses.
+  struct PendingWrite {
+    std::span<const EdgeEdit> edits;
+    size_t applied = 0;
+    bool done = false;
+  };
+
   void AccumulateGather(const ScatterGatherStats& delta) const EXCLUDES(mu_);
+
+  /// The write path proper: `effective`/`summary` are the canonicalized
+  /// batch against the current view. Primary applies, replicas adopt, cut
+  /// set spliced, merges carried, memory accounted, next view published.
+  void ApplyEffectiveLocked(
+      const std::shared_ptr<const ShardedServiceView>& prev,
+      std::span<const EdgeEdit> effective, const EdgeEditSummary& summary)
+      REQUIRES(update_mu_) EXCLUDES(mu_);
+
+  /// Group-commit front door: enqueue, elect a leader, leader drains the
+  /// queue and applies the concatenated batch, everyone returns its own
+  /// attributed effective count.
+  size_t GroupCommit(std::span<const EdgeEdit> edits)
+      EXCLUDES(commit_mu_, update_mu_, mu_);
+
+  /// Applies one drained group as a single epoch and writes each member's
+  /// attributed effective-edit count into its PendingWrite.
+  void CommitGroup(std::span<PendingWrite* const> group)
+      EXCLUDES(update_mu_, mu_);
 
   ShardedServiceOptions options_;
   VertexPartition partition_;
   std::vector<std::unique_ptr<HCoreIndex>> shards_;
-  // Shared fan-out pool: shard construction, per-shard batch application,
-  // and the views' read-side scatters (TaskGroup keeps waits scoped).
+  // Shared fan-out pool: the views' read-side scatters (TaskGroup keeps
+  // waits scoped).
   std::shared_ptr<ThreadPool> pool_;
   Mutex update_mu_;   // serializes writers
-  mutable Mutex mu_;  // guards view_ swap and gather_
+  mutable Mutex mu_;  // guards view_ swap, gather_, and memory_
   std::shared_ptr<const ShardedServiceView> view_ GUARDED_BY(mu_);
   mutable ScatterGatherStats gather_ GUARDED_BY(mu_);
+  GraphMemoryStats memory_ GUARDED_BY(mu_);  // cumulative shared/copied
+  // Group-commit state: queued writers and the leader-election flag.
+  Mutex commit_mu_;
+  CondVar commit_cv_;
+  std::vector<PendingWrite*> commit_queue_ GUARDED_BY(commit_mu_);
+  bool commit_leader_ GUARDED_BY(commit_mu_) = false;
 };
 
 }  // namespace hcore

@@ -353,8 +353,8 @@ TEST(Relabeled, IdentityPermutationIsANoOp) {
   std::vector<VertexId> identity(g.num_vertices());
   std::iota(identity.begin(), identity.end(), 0);
   Graph r = g.Relabeled(identity);
-  EXPECT_EQ(r.offsets(), g.offsets());
-  EXPECT_EQ(r.neighbor_array(), g.neighbor_array());
+  EXPECT_EQ(r.FlattenedOffsets(), g.FlattenedOffsets());
+  EXPECT_EQ(r.FlattenedNeighbors(), g.FlattenedNeighbors());
 }
 
 TEST(Ordering, MeanNeighborGapSeparatesScrambledFromLocalIds) {

@@ -283,11 +283,62 @@ TEST(GraphWithEdits, RandomBatchesMatchBuilderReference) {
 
       ASSERT_EQ(spliced.num_vertices(), reference.num_vertices())
           << spec.Name() << " round=" << round;
-      ASSERT_EQ(spliced.offsets(), reference.offsets());
-      ASSERT_EQ(spliced.neighbor_array(), reference.neighbor_array());
+      ASSERT_EQ(spliced.FlattenedOffsets(), reference.FlattenedOffsets());
+      ASSERT_EQ(spliced.FlattenedNeighbors(), reference.FlattenedNeighbors());
       g = std::move(spliced);
     }
   }
+}
+
+TEST(GraphPaging, SingleEditCopiesOnlyTouchedPages) {
+  Rng rng(11);
+  Graph g = gen::BarabasiAlbert(5000, 3, &rng);
+  const size_t pages = g.num_pages();
+  ASSERT_EQ(pages, (5000 + Graph::kPageVertices - 1) / Graph::kPageVertices);
+  ASSERT_GT(pages, 3u);
+
+  // One in-range edit touches at most the two pages holding its endpoints;
+  // every other page of the new epoch is the same heap object.
+  const VertexId u = 100, v = 4000;
+  ASSERT_FALSE(g.HasEdge(u, v));
+  const std::vector<EdgeEdit> one = {EdgeEdit::Insert(u, v)};
+  Graph next = g.WithEdits(one);
+  EXPECT_EQ(next.num_pages(), pages);
+  EXPECT_GE(CountSharedPages(g, next), pages - 2);
+  const size_t pu = u >> Graph::kPageVertexBits;
+  const size_t pv = v >> Graph::kPageVertexBits;
+  for (size_t p = 0; p < pages; ++p) {
+    if (p == pu || p == pv) {
+      EXPECT_NE(g.PageIdentity(p), next.PageIdentity(p)) << "page " << p;
+    } else {
+      EXPECT_EQ(g.PageIdentity(p), next.PageIdentity(p)) << "page " << p;
+    }
+  }
+  EXPECT_TRUE(next.HasEdge(u, v));
+
+  // Deleting it again restores the adjacency (fresh pages, equal bytes).
+  const std::vector<EdgeEdit> undo = {EdgeEdit::Delete(u, v)};
+  Graph back = next.WithEdits(undo);
+  EXPECT_EQ(back.FlattenedOffsets(), g.FlattenedOffsets());
+  EXPECT_EQ(back.FlattenedNeighbors(), g.FlattenedNeighbors());
+  EXPECT_GE(CountSharedPages(next, back), pages - 2);
+}
+
+TEST(GraphPaging, NoOpBatchSharesEveryPageAndMemoryIsAccounted) {
+  Rng rng(12);
+  Graph g = gen::BarabasiAlbert(3000, 3, &rng);
+  // Resident bytes cover at least every page's target buffer (2 slots per
+  // undirected edge) plus the per-vertex offset entries.
+  EXPECT_GT(g.MemoryBytes(), g.num_edges() * 2 * sizeof(VertexId));
+  // A batch that inserts then deletes the same absent edge canonicalizes to
+  // nothing: the new epoch shares every page by pointer.
+  VertexId a = 7, b = 2500;
+  while (g.HasEdge(a, b)) ++b;
+  const std::vector<EdgeEdit> nop = {EdgeEdit::Insert(a, b),
+                                     EdgeEdit::Delete(a, b)};
+  Graph same = g.WithEdits(nop);
+  EXPECT_EQ(CountSharedPages(g, same), g.num_pages());
+  EXPECT_EQ(same.FlattenedNeighbors(), g.FlattenedNeighbors());
 }
 
 TEST(Connectivity, ComponentsOfDisjointPieces) {

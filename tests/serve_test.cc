@@ -10,7 +10,10 @@
 #include "serve/sharded_service.h"
 
 #include <functional>
+#include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -259,9 +262,14 @@ TEST(ServeTier, ShardCountersBalanceAndStatsResetZeroes) {
 
   Rng edit_rng(3);
   size_t effective_batches = 0;
+  size_t effective_edits = 0;
   for (int round = 0; round < 4; ++round) {
     auto batch = MixedBatch(service.view()->graph(), &edit_rng, 3);
-    if (service.ApplyBatch(batch) > 0) ++effective_batches;
+    size_t applied = service.ApplyBatch(batch);
+    if (applied > 0) {
+      ++effective_batches;
+      effective_edits += applied;
+    }
   }
   ASSERT_GT(effective_batches, 0u);
   (void)service.CoreComponentOf(0, 1, 2);
@@ -269,14 +277,37 @@ TEST(ServeTier, ShardCountersBalanceAndStatsResetZeroes) {
 
   ShardedServiceStats stats = service.stats();
   ASSERT_EQ(stats.shard.size(), 3u);
-  for (const HCoreIndexStats& s : stats.shard) {
-    // Every shard applied every effective batch, replica-consistently, and
-    // each dirty level went to exactly one maintenance path.
+  // Prepare-once/adopt-everywhere: the primary (shard 0) pays the page
+  // splice and per-level repair exactly once per effective batch; replicas
+  // adopt the published epoch by pointer and do no decomposition work.
+  const HCoreIndexStats& primary = stats.shard[0];
+  EXPECT_EQ(primary.batches_applied, effective_batches);
+  EXPECT_EQ(primary.csr_rebuilds, effective_batches);
+  EXPECT_EQ(primary.adoptions, 0u);
+  EXPECT_EQ(primary.edits_applied, effective_edits);
+  EXPECT_EQ(primary.localized_updates + primary.fallback_repeels,
+            effective_batches * kMaxH);
+  size_t routed_total = 0;
+  for (size_t shard = 1; shard < stats.shard.size(); ++shard) {
+    const HCoreIndexStats& s = stats.shard[shard];
     EXPECT_EQ(s.batches_applied, effective_batches);
-    EXPECT_EQ(s.csr_rebuilds, effective_batches);
-    EXPECT_EQ(s.localized_updates + s.fallback_repeels,
-              effective_batches * kMaxH);
+    EXPECT_EQ(s.adoptions, effective_batches);
+    EXPECT_EQ(s.csr_rebuilds, 0u);
+    EXPECT_EQ(s.localized_updates + s.fallback_repeels, 0u);
+    // Replicas are attributed only the edits incident to vertices they
+    // own, so each sees at most the batch total.
+    EXPECT_LE(s.edits_applied, effective_edits);
+    routed_total += s.edits_applied;
   }
+  // Each effective edit touches at most two owners, so across the replicas
+  // the owned-incident attribution never exceeds twice the batch total.
+  EXPECT_LE(routed_total, 2 * effective_edits);
+  // COW accounting ran each epoch. This 90-vertex graph fits in a single
+  // page, so every effective batch copies it; sharing across epochs is
+  // exercised on multi-page graphs in PageSharingAcrossEpochs.
+  EXPECT_EQ(stats.memory.pages_copied, effective_batches);
+  EXPECT_GT(stats.memory.resident_bytes, 0u);
+  EXPECT_GT(stats.memory.graph_pages, 0u);
   EXPECT_EQ(stats.gather.component_queries, 1u);
   EXPECT_EQ(stats.gather.community_queries, 1u);
   EXPECT_GT(stats.gather.shard_scatters, 0u);
@@ -298,6 +329,11 @@ TEST(ServeTier, ShardCountersBalanceAndStatsResetZeroes) {
   }
   EXPECT_EQ(zeroed.gather.component_queries, 0u);
   EXPECT_EQ(zeroed.gather.shard_scatters, 0u);
+  // Epoch page-sharing counters reset; resident bytes are a gauge of the
+  // currently published graph and stay live.
+  EXPECT_EQ(zeroed.memory.pages_shared, 0u);
+  EXPECT_EQ(zeroed.memory.pages_copied, 0u);
+  EXPECT_GT(zeroed.memory.resident_bytes, 0u);
   // Reset is a counter operation only: the published view and its epoch
   // vector are untouched.
   EXPECT_EQ(service.view()->service_epoch(), epoch_before);
@@ -446,6 +482,96 @@ TEST(ServeIncremental, MergeCacheCapIsConfigurableAndEvictsLru) {
   const ScatterGatherStats gather = service.stats().gather;
   EXPECT_EQ(gather.merge_misses, 4u);
   EXPECT_EQ(gather.merge_hits, 1u);
+}
+
+TEST(ServeTier, PageSharingAcrossEpochs) {
+  // On a multi-page substrate every published epoch shares its untouched
+  // pages with the previous one: a 1-edit batch copies at most the two
+  // pages holding the endpoints (plus growth tail pages, absent here).
+  Rng rng(31);
+  Graph g = gen::BarabasiAlbert(5000, 3, &rng);
+  ShardedHCoreService service(Graph(g), ServiceOptions(4));
+  const size_t pages = service.view()->graph().num_pages();
+  ASSERT_GT(pages, 3u);
+
+  const int kBatches = 5;
+  for (int i = 0; i < kBatches; ++i) {
+    VertexId u = static_cast<VertexId>(10 + i), v = 3000;
+    while (service.view()->graph().HasEdge(u, v)) ++v;
+    const EdgeEdit edit = EdgeEdit::Insert(u, v);
+    ASSERT_EQ(service.ApplyBatch({&edit, 1}), 1u);
+  }
+
+  ShardedServiceStats stats = service.stats();
+  // Each epoch shared all but <= 2 pages and copied the rest.
+  EXPECT_GE(stats.memory.pages_shared, kBatches * (pages - 2));
+  EXPECT_LE(stats.memory.pages_copied, kBatches * 2u);
+  EXPECT_EQ(stats.memory.graph_pages, pages);
+  EXPECT_GT(stats.memory.resident_bytes, 0u);
+  // Adoption means the tier holds ONE paged graph, not num_shards copies:
+  // resident bytes are far below four CSR replicas of this substrate.
+  EXPECT_LT(stats.memory.resident_bytes,
+            2 * service.view()->graph().MemoryBytes());
+}
+
+TEST(ServeTier, GroupCommitCoalescesConcurrentWritersExactly) {
+  // Concurrent writers under group commit: a leader drains the queue and
+  // applies one concatenated batch per group. Edits are disjoint absent
+  // edges, so every writer's attributed count must come back exactly, and
+  // the final state must equal a control tier that applied the same edits
+  // in one sequential batch (and the single-index oracle).
+  Rng rng(33);
+  Graph g = gen::CliqueOverlay(150, 70, 3, 12, 2.0, &rng);
+  const VertexId n = g.num_vertices();
+
+  // Carve disjoint absent edges into per-writer batches.
+  std::set<std::pair<VertexId, VertexId>> used;
+  for (const auto& e : g.Edges()) used.insert(e);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 6;
+  Rng pick(34);
+  std::vector<std::vector<EdgeEdit>> batches(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    while (batches[w].size() < kPerWriter) {
+      VertexId u = pick.NextIndex(n), v = pick.NextIndex(n);
+      if (u == v) continue;
+      auto key = std::minmax(u, v);
+      if (!used.insert({key.first, key.second}).second) continue;
+      batches[w].push_back(EdgeEdit::Insert(u, v));
+    }
+  }
+
+  ShardedServiceOptions grouped_opts = ServiceOptions(3);
+  grouped_opts.group_commit = true;
+  ShardedHCoreService grouped(Graph(g), grouped_opts);
+
+  std::vector<size_t> applied(kWriters, 0);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] { applied[w] = grouped.ApplyBatch(batches[w]); });
+  }
+  for (auto& t : writers) t.join();
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(applied[w], static_cast<size_t>(kPerWriter)) << "writer " << w;
+  }
+  // Groups coalesce: the epoch advanced once per commit group, never more
+  // than once per writer.
+  const uint64_t epoch = grouped.view()->service_epoch();
+  EXPECT_GE(epoch, 1u);
+  EXPECT_LE(epoch, static_cast<uint64_t>(kWriters));
+
+  // Control: the same edits in one sequential batch, group commit off.
+  std::vector<EdgeEdit> all;
+  for (const auto& b : batches) all.insert(all.end(), b.begin(), b.end());
+  ShardedHCoreService control(Graph(g), ServiceOptions(3));
+  ASSERT_EQ(control.ApplyBatch(all), all.size());
+  HCoreIndex oracle(Graph(g), IndexOptions());
+  ASSERT_EQ(oracle.ApplyBatch(all), all.size());
+
+  EXPECT_EQ(grouped.view()->graph().FlattenedNeighbors(),
+            control.view()->graph().FlattenedNeighbors());
+  AssertEquivalent(grouped, oracle, "group-commit");
+  AssertCommunitiesEquivalent(grouped, oracle, 77, "group-commit");
 }
 
 TEST(ServeTier, SingleShardDegeneratesToOneIndexWithEmptyCutSet) {

@@ -462,6 +462,13 @@ void PrintServeStats(const ShardedHCoreService& service) {
                 static_cast<unsigned long long>(st.gather.merges_carried),
                 static_cast<unsigned long long>(st.gather.merges_spliced),
                 static_cast<unsigned long long>(st.gather.merges_premerged));
+    std::printf("memory: resident_bytes=%llu pages=%llu pages_shared=%llu "
+                "pages_copied=%llu adoptions=%llu\n",
+                static_cast<unsigned long long>(st.memory.resident_bytes),
+                static_cast<unsigned long long>(st.memory.graph_pages),
+                static_cast<unsigned long long>(st.memory.pages_shared),
+                static_cast<unsigned long long>(st.memory.pages_copied),
+                static_cast<unsigned long long>(s.adoptions));
   }
 }
 

@@ -28,6 +28,13 @@ enforces repo conventions that keep the annotated world airtight:
                    Add body — a counter missing from Add silently vanishes
                    from cross-shard / cross-epoch aggregation.
 
+  page-buffer      COW page buffer types reachable from published snapshots
+                   (AdjacencyPage, Graph) are shared by pointer across
+                   epochs, shards, and reader threads: they must expose no
+                   public mutating (non-const) member functions. A mutation
+                   entry point on a shared page is a data race with every
+                   concurrent reader of every epoch that shares it.
+
 A line (or the statement it ends) can be exempted with a justifying comment
 containing `lint:allow(<rule>)`.
 
@@ -43,6 +50,11 @@ import sys
 
 # Classes with the published-immutable contract (rule: published-type).
 PUBLISHED_CLASSES = ("HCoreSnapshot", "ShardedServiceView")
+
+# COW page buffer types shared across epochs/shards (rule: page-buffer).
+# Reachable from every published snapshot; a public mutating method here
+# would let one epoch scribble on pages other epochs still serve.
+PAGE_BUFFER_CLASSES = ("AdjacencyPage", "Graph")
 
 # Directories scanned, relative to --root.
 SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
@@ -174,15 +186,20 @@ _MACRO_NAME_RE = re.compile(r"^[A-Z_0-9]+$")
 
 
 def _class_body(text, name):
-    """(body_text, offset) of `class name ... { ... }`, or (None, 0)."""
-    m = re.search(r"\bclass\s+" + re.escape(name) + r"\b[^;{]*\{", text)
+    """(body, offset, kind) of `class|struct name ... { ... }`.
+
+    kind is "class" or "struct" (they differ in default member access);
+    (None, 0, None) when the type is not defined in `text`.
+    """
+    m = re.search(
+        r"\b(class|struct)\s+" + re.escape(name) + r"\b[^;{]*\{", text)
     if not m:
-        return None, 0
+        return None, 0, None
     open_pos = m.end() - 1
     end = _matching(text, open_pos, "{", "}")
     if end < 0:
-        return None, 0
-    return text[open_pos + 1:end - 1], open_pos + 1
+        return None, 0, None
+    return text[open_pos + 1:end - 1], open_pos + 1, m.group(1)
 
 
 def check_published_type(path, text, class_names=PUBLISHED_CLASSES):
@@ -198,14 +215,14 @@ def check_published_type(path, text, class_names=PUBLISHED_CLASSES):
         return _allowed("published-type", *orig_lines[lo:hi])
 
     for name in class_names:
-        body, base = _class_body(code, name)
+        body, base, kind = _class_body(code, name)
         if body is None:
             continue
         base_line = _line_of(code, base)
         stripped = _strip_bodies(body)
 
         # (a) public member functions must be const.
-        access = "private"
+        access = "public" if kind == "struct" else "private"
         # Walk declarations statement-by-statement, tracking access labels.
         for stmt_m in re.finditer(r"[^;]*;", stripped):
             stmt = stmt_m.group(0)
@@ -254,6 +271,70 @@ def check_published_type(path, text, class_names=PUBLISHED_CLASSES):
                 path, line, "published-type",
                 f"mutable field in {name} is neither GUARDED_BY(...) nor "
                 "std::atomic"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Rule: page-buffer
+# ---------------------------------------------------------------------------
+
+def check_page_buffer(path, text, class_names=PAGE_BUFFER_CLASSES):
+    """Page buffers shared across published epochs must be read-only.
+
+    Flags every public non-const, non-static member function on the COW
+    page buffer types. Constructors, destructors, operators (assignment of
+    a whole Graph *value* is fine — it rebinds shared_ptrs, it does not
+    mutate shared pages), and ALL_CAPS macros are skipped, mirroring the
+    published-type walk.
+    """
+    violations = []
+    code = _strip_comments(text)
+    orig_lines = text.splitlines()
+
+    def stmt_allowed(base_line, stmt):
+        lo = base_line - 1
+        hi = min(len(orig_lines), lo + stmt.count("\n") + 1)
+        return _allowed("page-buffer", *orig_lines[lo:hi])
+
+    for name in class_names:
+        body, base, kind = _class_body(code, name)
+        if body is None:
+            continue
+        base_line = _line_of(code, base)
+        stripped = _strip_bodies(body)
+        access = "public" if kind == "struct" else "private"
+        for stmt_m in re.finditer(r"[^;]*;", stripped):
+            stmt = stmt_m.group(0)
+            line = base_line + stripped.count("\n", 0, stmt_m.start())
+            for lab in re.finditer(r"\b(public|private|protected)\s*:", stmt):
+                access = lab.group(1)
+            if access != "public":
+                continue
+            fn = re.search(r"(~?)([A-Za-z_]\w*)\s*\(", stmt)
+            if not fn:
+                continue
+            fname = fn.group(2)
+            if (fn.group(1) == "~" or fname == name
+                    or fname in _FUNC_SKIP_NAMES
+                    or _MACRO_NAME_RE.match(fname)
+                    or "operator" in stmt
+                    or re.search(r"\bstatic\b", stmt)
+                    or re.search(r"\busing\b", stmt)
+                    or re.search(r"\bfriend\b", stmt)):
+                continue
+            close = _matching(stmt, fn.end() - 1, "(", ")")
+            if close < 0:
+                continue
+            tail = stmt[close:]
+            if re.match(r"\s*const\b", tail):
+                continue
+            if stmt_allowed(line, stmt):
+                continue
+            violations.append(Violation(
+                path, line + stmt.count("\n", 0, fn.start()),
+                "page-buffer",
+                f"{name}::{fname} is a public mutating member function on a "
+                "COW page buffer type shared across published epochs"))
     return violations
 
 
@@ -384,6 +465,7 @@ def lint_tree(root):
         violations += check_task_capture(rel, text)
         if path.endswith(".h"):
             violations += check_published_type(rel, text)
+            violations += check_page_buffer(rel, text)
             violations += check_stats_add(rel, text, cc_texts)
     return violations
 
@@ -449,6 +531,46 @@ class HCoreSnapshot {
            "task-capture: missed .get() capture")
     expect(not check_task_capture("x.cc", ok_run),
            "task-capture: false positive on explicit captures")
+
+    # page-buffer fires on a public mutating method of a page buffer type
+    # (struct default access counts as public); quiet on the read-only twin
+    # and on an allowed line.
+    bad_page = """
+struct AdjacencyPage {
+  std::vector<EdgeIndex> offsets;
+  std::vector<VertexId> targets;
+  void Clear();
+};
+"""
+    ok_page = """
+struct AdjacencyPage {
+  std::vector<EdgeIndex> offsets;
+  std::vector<VertexId> targets;
+  uint64_t MemoryBytes() const;
+};
+"""
+    allowed_page = """
+struct AdjacencyPage {
+  void Clear();  // build-time only: lint:allow(page-buffer)
+};
+"""
+    bad_graph = """
+class Graph {
+ public:
+  void CompactInPlace();
+  uint64_t num_edges() const;
+};
+"""
+    got = check_page_buffer("x.h", bad_page)
+    expect(any("Clear" in v.message for v in got),
+           "page-buffer: missed mutating method on struct (default public)")
+    expect(not check_page_buffer("x.h", ok_page),
+           "page-buffer: false positive on read-only page type")
+    expect(not check_page_buffer("x.h", allowed_page),
+           "page-buffer: ignored lint:allow")
+    expect(any("CompactInPlace" in v.message
+               for v in check_page_buffer("x.h", bad_graph)),
+           "page-buffer: missed mutating method on Graph")
 
     # stats-add fires when a counter is missing from Add.
     bad_stats = """
